@@ -1,0 +1,56 @@
+"""Ablation — sparse level N of the a-priori pattern (Alg. 1 step 2).
+
+The paper evaluates with N = 1 (pattern of A); the machinery supports the
+general `pattern(Ã^N)` form of Chow [11].  This bench sweeps N ∈ {1, 2}
+with thresholding and confirms the classic trade-off the related work
+describes: richer a-priori patterns cut iterations at higher setup cost —
+and the cache-friendly extension composes with *any* of them (the paper's
+"complementary to any numerical strategy" claim, §8/§9).
+"""
+
+from benchmarks.conftest import scope_note
+from repro.arch.address import ArrayPlacement
+from repro.collection.suite import get_case
+from repro.experiments.runner import make_rhs
+from repro.fsai.extended import setup_fsai
+from repro.fsai.fillin import extend_pattern_cache_friendly
+from repro.fsai.frobenius import compute_g
+from repro.fsai.patterns import fsai_initial_pattern
+from repro.fsai.precond import FSAIApplication
+from repro.solvers.cg import pcg
+
+
+def test_ablation_sparse_level(benchmark, capsys):
+    a = get_case(65).build()  # fv3-syn
+    b = make_rhs(a, seed=7)
+    placement = ArrayPlacement.aligned(64)
+
+    def run(level, threshold, extend):
+        pattern = fsai_initial_pattern(a, level=level, threshold=threshold)
+        if extend:
+            pattern = extend_pattern_cache_friendly(pattern, placement)
+        g = compute_g(a, pattern)
+        res = pcg(a, b, preconditioner=FSAIApplication(g))
+        return pattern.nnz, res.iterations
+
+    benchmark.pedantic(lambda: run(2, 0.05, False), rounds=3, iterations=1)
+
+    rows = []
+    for level, threshold in ((1, 0.0), (2, 0.05), (2, 0.0)):
+        for extend in (False, True):
+            nnz, iters = run(level, threshold, extend)
+            rows.append((level, threshold, extend, nnz, iters))
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}] sparse-level sweep (fv3-syn)")
+        print(f"{'N':>3} {'tau':>6} {'cache-ext':>9} {'nnz':>8} {'iters':>6}")
+        for level, tau, ext, nnz, iters in rows:
+            print(f"{level:>3} {tau:>6g} {str(ext):>9} {nnz:>8} {iters:>6}")
+
+    by_key = {(l, t, e): (n, i) for l, t, e, n, i in rows}
+    # Higher level => richer pattern => fewer (or equal) iterations.
+    assert by_key[(2, 0.0, False)][1] <= by_key[(1, 0.0, False)][1]
+    assert by_key[(2, 0.0, False)][0] > by_key[(1, 0.0, False)][0]
+    # The cache-friendly extension helps at every level (composability).
+    for level, tau in ((1, 0.0), (2, 0.05), (2, 0.0)):
+        assert by_key[(level, tau, True)][1] <= by_key[(level, tau, False)][1]

@@ -1,0 +1,96 @@
+"""E-A1 — §6 ablation: two-step transpose extension vs joint single-step.
+
+The paper argues the FSAIE(full) extension *must* run in two steps (extend
+``G``, filter, then extend the filtered transpose) because extending ``G``
+and ``G^T`` simultaneously "may produce non cache-friendly extended
+entries".  The measurable consequence: the joint variant's stored ``G^T``
+pattern exploits its touched cache lines less completely — lines are loaded
+for the second product but only partially used — which shows up as lower
+*line utilisation* and (on irregular patterns) a higher simulated miss rate
+per stored entry.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_CASE_IDS, scope_note
+from repro.arch.address import ArrayPlacement
+from repro.arch.presets import SKYLAKE
+from repro.cachesim.spmv_sim import simulate_fsai_application
+from repro.collection.suite import get_case
+from repro.fsai.extended import setup_fsaie_full, setup_fsaie_joint
+from repro.perf.costmodel import scale_caches
+
+CASE_IDS = (BENCH_CASE_IDS or tuple(range(1, 73)))[:6]
+
+
+def line_utilization(pattern, placement, *, upper: bool) -> float:
+    """Average populated fraction of each row's touched-line slot budget.
+
+    For every row, each touched cache line admits up to ``elements_per_line``
+    columns (clipped by the matrix edge and the triangular constraint);
+    utilisation is the fraction of those admissible slots the pattern
+    actually populates.  A fully cache-friendly pattern scores 1.0 on the
+    slots its product can use.
+    """
+    epl = placement.elements_per_line
+    off = placement.element_offset
+    utils = []
+    for i in range(pattern.n_rows):
+        row = pattern.row(i)
+        if len(row) == 0:
+            continue
+        lines, counts = np.unique((row + off) // epl, return_counts=True)
+        starts = lines * epl - off
+        ends = starts + epl - 1
+        lo = np.maximum(starts, i if upper else 0)
+        hi = np.minimum(ends, pattern.n_cols - 1 if upper else i)
+        slots = np.maximum(hi - lo + 1, 1)
+        utils.append(float((counts / slots).mean()))
+    return float(np.mean(utils))
+
+
+def test_ablation_two_step_vs_joint(benchmark, capsys):
+    placement = ArrayPlacement.aligned(64)
+    sim_machine = scale_caches(SKYLAKE, 0.125)
+
+    a0 = get_case(CASE_IDS[0]).build()
+    joint_setup = benchmark.pedantic(
+        lambda: setup_fsaie_joint(a0, placement, filter_value=0.01),
+        rounds=3, iterations=1,
+    )
+    assert joint_setup.method == "fsaie_joint"
+
+    rows = []
+    for cid in CASE_IDS:
+        a = get_case(cid).build()
+        two = setup_fsaie_full(a, placement, filter_value=0.01)
+        joint = setup_fsaie_joint(a, placement, filter_value=0.01)
+        m2 = simulate_fsai_application(
+            two.application.g_pattern, sim_machine,
+            gt_pattern=two.application.gt_pattern,
+        ).x_misses_per_nnz
+        mj = simulate_fsai_application(
+            joint.application.g_pattern, sim_machine,
+            gt_pattern=joint.application.gt_pattern,
+        ).x_misses_per_nnz
+        u2 = line_utilization(two.application.gt_pattern, placement, upper=True)
+        uj = line_utilization(joint.application.gt_pattern, placement, upper=True)
+        rows.append((cid, m2, mj, u2, uj))
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}] two-step vs joint extension (§6)")
+        print(f"{'case':>5} {'miss/nnz 2-step':>16} {'joint':>9} "
+              f"{'G^T line util 2-step':>21} {'joint':>9}")
+        for cid, m2, mj, u2, uj in rows:
+            print(f"{cid:>5} {m2:>16.4f} {mj:>9.4f} {u2:>21.3f} {uj:>9.3f}")
+
+    # Two-step G^T patterns use their loaded lines at least as completely
+    # as the joint variant's, on every case and strictly on average.
+    assert all(u2 >= uj - 1e-9 for _, _, _, u2, uj in rows)
+    assert np.mean([u2 - uj for *_, u2, uj in rows]) > 0
+    # Simulated misses per entry: joint never wins on average.
+    assert np.mean([mj - m2 for _, m2, mj, _, _ in rows]) >= -1e-3
+
+    benchmark.extra_info["mean_utilization_gain"] = round(
+        float(np.mean([u2 - uj for *_, u2, uj in rows])), 4
+    )

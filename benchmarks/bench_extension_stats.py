@@ -1,0 +1,46 @@
+"""E-A3 — §7.7 extension-size statistics per architecture.
+
+Paper: FSAIE(full) at filter 0.01 adds ~61% entries on the 64 B-line
+machines and ~93% on A64FX.  This bench prints and asserts the line-size
+ordering of the measured averages.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import scope_note
+from repro.arch.address import ArrayPlacement
+from repro.collection.suite import get_case
+from repro.experiments.tables import extension_stats
+from repro.fsai.fillin import extend_pattern_cache_friendly
+from repro.fsai.patterns import fsai_initial_pattern
+
+
+def test_extension_stats(
+    skylake_campaign, power9_campaign, a64fx_campaign, benchmark, capsys
+):
+    a = get_case(41).build()
+    base = fsai_initial_pattern(a)
+
+    ext = benchmark.pedantic(
+        lambda: extend_pattern_cache_friendly(base, ArrayPlacement.aligned(256)),
+        rounds=5, iterations=1,
+    )
+    assert ext.nnz > base.nnz
+
+    campaigns = [skylake_campaign, power9_campaign, a64fx_campaign]
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(extension_stats(campaigns))
+
+    def avg_pct(campaign):
+        return float(np.mean(
+            [r.get("fsaie_full", 0.01).pct_nnz for r in campaign.results]
+        ))
+
+    skx, p9, a64 = (avg_pct(c) for c in campaigns)
+    # 64 B machines extend identically; A64FX extends more.
+    assert abs(skx - p9) < 1e-9
+    assert a64 > skx
+
+    benchmark.extra_info["avg_pct_skylake"] = round(skx, 1)
+    benchmark.extra_info["avg_pct_a64fx"] = round(a64, 1)

@@ -1,0 +1,29 @@
+"""E-F2 — regenerate Figure 2 (per-matrix time decrease, Skylake).
+
+Times the per-matrix improvement extraction and prints the ASCII bars.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import scope_note
+from repro.experiments.figures import figure2_series, render_bars
+
+
+def test_figure2_skylake(skylake_campaign, benchmark, capsys):
+    series = benchmark.pedantic(
+        lambda: figure2_series(skylake_campaign), rounds=10, iterations=1
+    )
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(render_bars(series))
+
+    # Figure 2 shapes: best-filter bars dominate the common-filter bars and
+    # most matrices improve.
+    best = np.asarray(series.best_filter)
+    common = np.asarray(series.common_filter)
+    assert np.all(best >= common - 1e-9)
+    assert (best > 0).mean() > 0.5
+
+    benchmark.extra_info["mean_best_improvement"] = round(float(best.mean()), 2)
+    benchmark.extra_info["improved_fraction"] = round(float((best > 0).mean()), 2)

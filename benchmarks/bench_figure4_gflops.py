@@ -1,0 +1,37 @@
+"""E-F4 — regenerate Figure 4 (Gflop/s of the G^T G p operation).
+
+Times the cost-model evaluation of one application (the per-bin
+computation) and prints the three-series histogram.
+"""
+
+from benchmarks.conftest import scope_note
+from repro.arch.presets import SKYLAKE
+from repro.collection.suite import get_case
+from repro.experiments.figures import figure4_histogram, render_histogram
+from repro.fsai.extended import setup_fsai
+from repro.perf.costmodel import CostModel
+
+
+def test_figure4_gflops(skylake_campaign, benchmark, capsys):
+    a = get_case(65).build()
+    setup = setup_fsai(a)
+    model = CostModel(SKYLAKE, cache_scale=0.125)
+
+    cost = benchmark.pedantic(
+        lambda: model.fsai_application_cost(setup.application.g_pattern),
+        rounds=3, iterations=1,
+    )
+    assert cost.gflops() > 0
+
+    hist = figure4_histogram(skylake_campaign)
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(render_histogram(hist))
+
+    # Figure 4 shape: cache-aware extended patterns reach the highest
+    # throughput; random extensions the lowest.
+    assert hist.median["G_FSAIE(full)"] >= hist.median["G_FSAI"] * 0.95
+    assert hist.median["G_random"] < hist.median["G_FSAIE(full)"]
+
+    benchmark.extra_info["median_gflops_full"] = round(hist.median["G_FSAIE(full)"], 2)
+    benchmark.extra_info["median_gflops_random"] = round(hist.median["G_random"], 2)

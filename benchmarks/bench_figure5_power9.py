@@ -1,0 +1,28 @@
+"""E-F5 — regenerate Figure 5 (per-matrix time decrease, POWER9)."""
+
+import numpy as np
+
+from benchmarks.conftest import scope_note
+from repro.experiments.figures import figure2_series, render_bars
+
+
+def test_figure5_power9(power9_campaign, skylake_campaign, benchmark, capsys):
+    series = benchmark.pedantic(
+        lambda: figure2_series(power9_campaign), rounds=10, iterations=1
+    )
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(render_bars(series))
+
+    best = np.asarray(series.best_filter)
+    assert (best > 0).mean() > 0.5
+
+    # §7.5: trends similar to Skylake (same 64 B patterns — improvements
+    # correlate strongly across the suite).
+    skx = np.asarray(figure2_series(skylake_campaign).best_filter)
+    corr = np.corrcoef(best, skx)[0, 1]
+    assert corr > 0.8
+
+    benchmark.extra_info["mean_best_improvement"] = round(float(best.mean()), 2)
+    benchmark.extra_info["corr_with_skylake"] = round(float(corr), 3)

@@ -1,0 +1,27 @@
+"""E-F6 — regenerate Figure 6 (per-matrix time decrease, A64FX)."""
+
+import numpy as np
+
+from benchmarks.conftest import scope_note
+from repro.experiments.figures import figure2_series, render_bars
+
+
+def test_figure6_a64fx(a64fx_campaign, skylake_campaign, benchmark, capsys):
+    series = benchmark.pedantic(
+        lambda: figure2_series(a64fx_campaign), rounds=10, iterations=1
+    )
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(render_bars(series))
+
+    best = np.asarray(series.best_filter)
+    skx = np.asarray(figure2_series(skylake_campaign).best_filter)
+
+    # §7.6: many matrices display larger improvements on A64FX than on the
+    # 64 B-line machines.
+    assert (best > 0).mean() > 0.5
+    assert best.mean() >= skx.mean() - 2.0
+
+    benchmark.extra_info["mean_best_improvement_a64fx"] = round(float(best.mean()), 2)
+    benchmark.extra_info["mean_best_improvement_skylake"] = round(float(skx.mean()), 2)

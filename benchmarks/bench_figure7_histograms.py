@@ -1,0 +1,29 @@
+"""E-F7 — regenerate Figure 7 (per-architecture improvement histograms,
+median markers) from the three machine campaigns."""
+
+from benchmarks.conftest import scope_note
+from repro.experiments.figures import figure7_histogram, render_histogram
+
+
+def test_figure7_histograms(
+    skylake_campaign, power9_campaign, a64fx_campaign, benchmark, capsys
+):
+    campaigns = [skylake_campaign, power9_campaign, a64fx_campaign]
+
+    hist = benchmark.pedantic(
+        lambda: figure7_histogram(campaigns), rounds=5, iterations=1
+    )
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(render_histogram(hist))
+
+    # §7.7 shape: A64FX's median improvement at least matches the 64 B
+    # machines; Skylake and POWER9 sit close together.
+    assert hist.median["a64fx"] >= min(
+        hist.median["skylake"], hist.median["power9"]
+    ) - 1.0
+    assert abs(hist.median["skylake"] - hist.median["power9"]) < 15.0
+
+    for name, med in hist.median.items():
+        benchmark.extra_info[f"median_{name}"] = round(med, 2)

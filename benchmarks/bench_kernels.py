@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the computational kernels (real wall time).
+
+Not a paper artifact — these track the implementation's own hot paths
+(SpMV, fill-in, exact G computation, cache simulation) so performance
+regressions in the substrate are visible in CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.address import ArrayPlacement
+from repro.arch.presets import SKYLAKE
+from repro.cachesim.spmv_sim import simulate_spmv
+from repro.collection.generators.fd import poisson2d
+from repro.fsai.fillin import extend_pattern_cache_friendly
+from repro.fsai.frobenius import compute_g, precalculate_g
+from repro.fsai.patterns import fsai_initial_pattern
+from repro.perf.costmodel import scale_caches
+
+
+@pytest.fixture(scope="module")
+def a():
+    return poisson2d(48)  # n = 2304, nnz = 11k
+
+
+@pytest.fixture(scope="module")
+def x(a):
+    return np.random.default_rng(0).standard_normal(a.n_rows)
+
+
+def test_kernel_spmv(a, x, benchmark):
+    y = benchmark(lambda: a.matvec(x))
+    assert y.shape == (a.n_rows,)
+
+
+def test_kernel_spmv_transpose(a, x, benchmark):
+    y = benchmark(lambda: a.rmatvec(x))
+    assert y.shape == (a.n_rows,)
+
+
+def test_kernel_fillin(a, benchmark):
+    base = fsai_initial_pattern(a)
+    pl = ArrayPlacement.aligned(64)
+    ext = benchmark(lambda: extend_pattern_cache_friendly(base, pl))
+    assert ext.nnz > base.nnz
+
+
+def test_kernel_compute_g(a, benchmark):
+    base = fsai_initial_pattern(a)
+    g = benchmark.pedantic(
+        lambda: compute_g(a, base), rounds=3, iterations=1
+    )
+    assert g.nnz == base.nnz
+
+
+def test_kernel_precalculate_g(a, benchmark):
+    base = fsai_initial_pattern(a)
+    g = benchmark.pedantic(
+        lambda: precalculate_g(a, base), rounds=3, iterations=1
+    )
+    assert g.nnz == base.nnz
+
+
+def test_kernel_cache_simulation(a, benchmark):
+    pattern = fsai_initial_pattern(a)
+    machine = scale_caches(SKYLAKE, 0.125)
+    res = benchmark.pedantic(
+        lambda: simulate_spmv(pattern, machine), rounds=3, iterations=1
+    )
+    assert res.x_accesses == pattern.nnz

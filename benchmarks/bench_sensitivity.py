@@ -1,0 +1,41 @@
+"""Extension — robustness of the reproduction's conclusions to the two free
+model parameters (cache-capacity scale, random-access penalty).
+
+The wall-clock substitution (DESIGN.md §2) is only credible if the paper's
+qualitative conclusions hold across a neighbourhood of the calibrated
+parameter point; this bench sweeps a 2x2 grid around it and asserts the
+headline shapes hold everywhere.
+"""
+
+from benchmarks.conftest import BENCH_CASE_IDS, scope_note
+from repro.collection.suite import suite72
+from repro.experiments.sensitivity import (
+    render_sensitivity,
+    sweep_model_parameters,
+)
+
+CASE_IDS = (BENCH_CASE_IDS or tuple(c.case_id for c in suite72()))[:6]
+
+
+def test_model_sensitivity(benchmark, capsys):
+    points = benchmark.pedantic(
+        lambda: sweep_model_parameters(
+            CASE_IDS,
+            cache_scales=(0.25, 0.0625),
+            penalties=(4.0, 16.0),
+        ),
+        rounds=1, iterations=1,
+    )
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(render_sensitivity(points))
+
+    held = [p.shapes_hold for p in points]
+    assert all(held), "paper shapes must hold across the model grid"
+    # Iteration counts are model-independent by construction.
+    iters = {p.avg_iters_f0_full for p in points}
+    assert len(iters) == 1
+
+    benchmark.extra_info["grid_points"] = len(points)
+    benchmark.extra_info["all_hold"] = all(held)

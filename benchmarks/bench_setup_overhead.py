@@ -1,0 +1,43 @@
+"""E-S74 — §7.4 setup-phase overhead of FSAIE(full) vs FSAI.
+
+Times the two setup paths directly (real wall time of this implementation,
+min-over-repetitions as in §7.1) and prints the modelled overhead summary.
+"""
+
+from benchmarks.conftest import scope_note
+from repro.arch.address import ArrayPlacement
+from repro.collection.suite import get_case
+from repro.experiments.tables import setup_overhead
+from repro.fsai.extended import setup_fsai, setup_fsaie_full
+from repro.perf.timer import min_over_repetitions
+
+
+def test_setup_overhead(skylake_campaign, benchmark, capsys):
+    a = get_case(41).build()
+    placement = ArrayPlacement.aligned(64)
+
+    full_setup = benchmark.pedantic(
+        lambda: setup_fsaie_full(a, placement, filter_value=0.01),
+        rounds=3, iterations=1,
+    )
+
+    t_base, _ = min_over_repetitions(lambda: setup_fsai(a), repetitions=3)
+    t_full, _ = min_over_repetitions(
+        lambda: setup_fsaie_full(a, placement, filter_value=0.01),
+        repetitions=3,
+    )
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(setup_overhead(skylake_campaign))
+        print(
+            f"wall-time (this Python implementation, Dubcova1-syn): "
+            f"FSAI {t_base * 1e3:.1f} ms, FSAIE(full) {t_full * 1e3:.1f} ms "
+            f"(+{100 * (t_full / t_base - 1):.0f}%)"
+        )
+
+    # §7.4 shape: extended setup costs more, but remains a bounded multiple.
+    assert t_full > t_base
+    assert full_setup.setup_flops > setup_fsai(a).setup_flops
+
+    benchmark.extra_info["wall_overhead_pct"] = round(100 * (t_full / t_base - 1))

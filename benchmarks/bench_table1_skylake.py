@@ -1,0 +1,37 @@
+"""E-T1 — regenerate Table 1 (per-matrix results, Skylake, filter = 0.01).
+
+The benchmark times the experiment unit underlying every Table 1 row — one
+matrix through the full method grid — and prints the regenerated table.
+"""
+
+import pytest
+
+from benchmarks.conftest import scope_note
+from repro.collection.suite import get_case
+from repro.experiments.runner import ExperimentConfig, run_case
+from repro.experiments.tables import table1
+
+
+def test_table1_skylake(skylake_campaign, benchmark, capsys):
+    cfg = ExperimentConfig(machine="skylake", filters=(0.01,))
+    case = get_case(65)  # fv3-syn, a mid-band Table 1 row
+
+    result = benchmark.pedantic(
+        lambda: run_case(case, cfg), rounds=3, iterations=1
+    )
+
+    text = table1(skylake_campaign, filter_value=0.01)
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(text)
+
+    # Table 1 shape: FSAIE methods extend the pattern and (weakly) reduce
+    # iterations on the benchmark row.
+    sp = result.get("fsaie_sp", 0.01)
+    fu = result.get("fsaie_full", 0.01)
+    assert sp.pct_nnz > 0 and fu.pct_nnz >= sp.pct_nnz
+    assert fu.iterations <= result.baseline.iterations
+
+    benchmark.extra_info["rows"] = len(skylake_campaign.results)
+    benchmark.extra_info["baseline_iters"] = result.baseline.iterations
+    benchmark.extra_info["full_iters"] = fu.iterations

@@ -1,0 +1,44 @@
+"""E-T3 — regenerate Table 3 (standard vs precalculation filtering).
+
+Times one full two-flow comparison and prints the aggregated table over
+the bench case set.
+"""
+
+from benchmarks.conftest import BENCH_CASE_IDS, scope_note
+from repro.arch.address import ArrayPlacement
+from repro.collection.suite import get_case, suite72
+from repro.experiments.filtering_compare import (
+    compare_filtering_strategies,
+    table3_rows,
+)
+from repro.experiments.tables import table3
+
+
+def test_table3_filtering(benchmark, capsys):
+    placement = ArrayPlacement.aligned(64)
+    a = get_case(65).build()
+
+    cmp = benchmark.pedantic(
+        lambda: compare_filtering_strategies(
+            a, placement, 0.1, case_name="fv3-syn"
+        ),
+        rounds=3, iterations=1,
+    )
+    assert cmp.converged_precalc
+
+    ids = BENCH_CASE_IDS or [c.case_id for c in suite72()]
+    cases = [get_case(i) for i in ids]
+    rows = table3_rows(cases, placement)
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(table3(rows))
+
+    # Paper shape (DESIGN.md §5 #3): degradation of the standard strategy
+    # grows with the filter value and is ~0 for tiny filters.
+    by_filter = {f: avg for f, avg, _ in rows}
+    assert abs(by_filter[0.0]) < 3.0  # ~0, small noise both ways
+    assert by_filter[0.1] >= by_filter[0.001] - 1.0
+    # The proposed strategy is never substantially worse on average.
+    assert all(avg >= -2.0 for avg in by_filter.values())
+
+    benchmark.extra_info["avg_increase_at_0.1"] = round(by_filter[0.1], 2)

@@ -1,0 +1,38 @@
+"""E-T4 — regenerate Table 4 (filter sweep on POWER9).
+
+POWER9 shares Skylake's 64 B lines, so the pattern extensions — and hence
+the iteration counts — must match Skylake's; only the modelled times differ
+(§7.5).  The bench asserts exactly that.
+"""
+
+from repro.arch.address import ArrayPlacement
+from benchmarks.conftest import scope_note
+from repro.collection.suite import get_case
+from repro.experiments.tables import filter_sweep_stats, table2
+from repro.fsai.extended import setup_fsaie_full
+
+
+def test_table4_power9(power9_campaign, skylake_campaign, benchmark, capsys):
+    a = get_case(41).build()
+    setup = benchmark.pedantic(
+        lambda: setup_fsaie_full(a, ArrayPlacement.aligned(64), filter_value=0.01),
+        rounds=3, iterations=1,
+    )
+    assert setup.nnz_increase_pct > 0
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(table2(power9_campaign, title="Table 4"))
+
+    # §7.5: identical line size => identical patterns and iteration counts.
+    for r9, rskx in zip(power9_campaign.results, skylake_campaign.results):
+        assert r9.case.case_id == rskx.case.case_id
+        for key in r9.runs:
+            if key[0] == "fsaie_random":
+                continue
+            assert r9.runs[key].iterations == rskx.runs[key].iterations
+            assert r9.runs[key].g_nnz == rskx.runs[key].g_nnz
+
+    fu = filter_sweep_stats(power9_campaign, "fsaie_full")
+    assert fu["best"].avg_time > 0
+    benchmark.extra_info["avg_time_best_filter"] = round(fu["best"].avg_time, 2)

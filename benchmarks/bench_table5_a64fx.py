@@ -1,0 +1,39 @@
+"""E-T5 — regenerate Table 5 (filter sweep on A64FX).
+
+A64FX's 256 B cache lines let the fill-in add ~4x more columns per touched
+line; the paper reports correspondingly larger iteration decreases than on
+the 64 B machines (§7.6).  The bench asserts that ordering.
+"""
+
+from benchmarks.conftest import scope_note
+from repro.arch.address import ArrayPlacement
+from repro.collection.suite import get_case
+from repro.experiments.tables import filter_sweep_stats, table2
+from repro.fsai.extended import setup_fsaie_full
+
+
+def test_table5_a64fx(a64fx_campaign, skylake_campaign, benchmark, capsys):
+    a = get_case(41).build()
+    setup = benchmark.pedantic(
+        lambda: setup_fsaie_full(a, ArrayPlacement.aligned(256), filter_value=0.01),
+        rounds=3, iterations=1,
+    )
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}]")
+        print(table2(a64fx_campaign, title="Table 5"))
+
+    # §7.6 shapes: larger unfiltered extensions and at least equal
+    # iteration reductions vs the 64 B machines.
+    fu_a64 = filter_sweep_stats(a64fx_campaign, "fsaie_full")
+    fu_skx = filter_sweep_stats(skylake_campaign, "fsaie_full")
+    assert fu_a64["0"].avg_iterations >= fu_skx["0"].avg_iterations - 1e-9
+
+    for r256, r64 in zip(a64fx_campaign.results, skylake_campaign.results):
+        assert (
+            r256.get("fsaie_full", 0.0).pct_nnz
+            >= r64.get("fsaie_full", 0.0).pct_nnz
+        )
+
+    benchmark.extra_info["avg_iters_f0_a64fx"] = round(fu_a64["0"].avg_iterations, 2)
+    benchmark.extra_info["avg_iters_f0_skylake"] = round(fu_skx["0"].avg_iterations, 2)

@@ -1,0 +1,58 @@
+"""Shared infrastructure for the benchmark harness.
+
+Campaigns are memoised per (machine, scope) so that the dozen bench files
+regenerating different tables/figures from the same sweep share one run.
+
+Scope control
+-------------
+By default benches run on the 12-case quick cross-section; set
+``REPRO_BENCH_FULL=1`` to run the complete 72-matrix campaign (several
+minutes per machine, exactly the paper's protocol).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.campaign import QUICK_CASE_IDS, run_campaign
+from repro.experiments.runner import ExperimentConfig
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: Case ids used by the campaign benches.
+BENCH_CASE_IDS = None if FULL else QUICK_CASE_IDS
+
+
+@lru_cache(maxsize=None)
+def campaign_for(machine: str, random_baseline: bool = False):
+    """Run (or fetch the memoised) campaign for one machine."""
+    cfg = ExperimentConfig(
+        machine=machine, include_random_baseline=random_baseline
+    )
+    return run_campaign(cfg, case_ids=BENCH_CASE_IDS)
+
+
+@pytest.fixture(scope="session")
+def skylake_campaign():
+    return campaign_for("skylake", random_baseline=True)
+
+
+@pytest.fixture(scope="session")
+def power9_campaign():
+    return campaign_for("power9")
+
+
+@pytest.fixture(scope="session")
+def a64fx_campaign():
+    return campaign_for("a64fx")
+
+
+def scope_note() -> str:
+    return (
+        "FULL 72-matrix campaign" if FULL
+        else f"quick {len(QUICK_CASE_IDS)}-case cross-section "
+             "(set REPRO_BENCH_FULL=1 for the full suite)"
+    )

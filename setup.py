@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package, which pip's PEP-660
+editable path requires; `python setup.py develop` (or `pip install -e .` on
+newer toolchains) both work from this shim. All metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

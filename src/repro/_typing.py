@@ -1,0 +1,40 @@
+"""Shared type aliases used across :mod:`repro`.
+
+Centralising the aliases keeps signatures short and consistent: index arrays
+are always ``int64`` and value arrays always ``float64`` throughout the
+library (the paper works in double precision; cache-line arithmetic assumes
+8-byte elements).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: dtype used for all numerical values (the paper assumes 8-byte doubles).
+VALUE_DTYPE = np.float64
+
+#: dtype used for all index arrays.
+INDEX_DTYPE = np.int64
+
+FloatArray = npt.NDArray[np.float64]
+IndexArray = npt.NDArray[np.int64]
+ArrayLike = Union[npt.ArrayLike, FloatArray]
+
+
+def as_value_array(data: ArrayLike, *, copy: bool = False) -> FloatArray:
+    """Return ``data`` as a contiguous float64 array.
+
+    A copy is made only when required by dtype/layout conversion or when
+    ``copy=True`` is passed explicitly.
+    """
+    arr = np.array(data, dtype=VALUE_DTYPE, copy=copy or None, order="C")
+    return np.ascontiguousarray(arr)
+
+
+def as_index_array(data: ArrayLike, *, copy: bool = False) -> IndexArray:
+    """Return ``data`` as a contiguous int64 array (see :func:`as_value_array`)."""
+    arr = np.array(data, dtype=INDEX_DTYPE, copy=copy or None, order="C")
+    return np.ascontiguousarray(arr)

@@ -1,0 +1,43 @@
+"""Architecture models.
+
+This subpackage encodes the *architecture inputs* of the paper's method:
+
+* :class:`~repro.arch.machine.MachineModel` — cache-line size, cache
+  geometry, memory bandwidth and peak flop rate of a target system;
+* presets for the paper's three evaluation systems (§7.1):
+  :data:`~repro.arch.presets.SKYLAKE`, :data:`~repro.arch.presets.POWER9`,
+  :data:`~repro.arch.presets.A64FX`;
+* :class:`~repro.arch.address.ArrayPlacement` — the virtual-address model of
+  §4.1 that maps a vector element ``x[i]`` to its cache line and its offset
+  within that line (``address_virtual(x[i]) mod elements_per_line``);
+* cache-line block arithmetic used by the cache-friendly fill-in (§4.2).
+
+The paper stresses that the *only* architecture input the fill-in algorithm
+needs is the cache-line size; everything else (cache sizes, associativity,
+bandwidth, flop rate) is used solely by the simulator and the cost model.
+"""
+
+from repro.arch.machine import CacheLevelSpec, MachineModel
+from repro.arch.presets import A64FX, POWER9, SKYLAKE, MACHINES, get_machine
+from repro.arch.address import ArrayPlacement
+from repro.arch.cacheline import (
+    line_of_index,
+    line_span,
+    lines_touched,
+    distinct_lines_count,
+)
+
+__all__ = [
+    "CacheLevelSpec",
+    "MachineModel",
+    "SKYLAKE",
+    "POWER9",
+    "A64FX",
+    "MACHINES",
+    "get_machine",
+    "ArrayPlacement",
+    "line_of_index",
+    "line_span",
+    "lines_touched",
+    "distinct_lines_count",
+]

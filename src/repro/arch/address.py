@@ -1,0 +1,135 @@
+"""Virtual-address placement model for vectors (§4.1).
+
+The paper determines the position of ``x[i]`` inside its cache line from the
+*offset bits* of its virtual address: because first-level caches are
+virtually indexed and physically tagged, virtual and physical offset (and
+index) bits coincide, so ``address_virtual(x[i]) mod elements_per_line``
+gives the element's slot within its line.
+
+In this reproduction a vector is described by an :class:`ArrayPlacement`: its
+base virtual address plus the line size of the target machine.  The class
+answers the two questions the fill-in algorithm asks:
+
+* which cache line does element ``i`` live in?
+* which element range ``[first, last]`` shares that line?
+
+``ArrayPlacement.for_numpy`` reads the *actual* base address of a NumPy
+buffer via the array interface, so the model can mirror a concrete
+allocation; experiments default to aligned placements (offset 0) and sweep
+misaligned ones explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.arch.machine import BYTES_PER_ELEMENT
+from repro.errors import ConfigurationError
+
+__all__ = ["ArrayPlacement"]
+
+
+@dataclass(frozen=True)
+class ArrayPlacement:
+    """Placement of a double-precision vector in virtual memory.
+
+    Parameters
+    ----------
+    line_bytes:
+        Cache-line size of the target machine (power of two).
+    base_address:
+        Virtual address of element 0.  Must be 8-byte aligned (doubles are);
+        it need *not* be line-aligned — the paper's §4.1 modulo arithmetic
+        handles arbitrary element offsets within the first line.
+    """
+
+    line_bytes: int
+    base_address: int = 0
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ConfigurationError(
+                f"line_bytes must be a positive power of two, got {self.line_bytes}"
+            )
+        if self.line_bytes < BYTES_PER_ELEMENT:
+            raise ConfigurationError("line smaller than one element")
+        if self.base_address % BYTES_PER_ELEMENT:
+            raise ConfigurationError(
+                "base_address must be 8-byte aligned for double precision"
+            )
+
+    @classmethod
+    def aligned(cls, line_bytes: int) -> "ArrayPlacement":
+        """Placement starting exactly at a line boundary (offset 0)."""
+        return cls(line_bytes=line_bytes, base_address=0)
+
+    @classmethod
+    def with_element_offset(cls, line_bytes: int, offset_elements: int) -> "ArrayPlacement":
+        """Placement whose element 0 sits ``offset_elements`` slots into a line."""
+        epl = line_bytes // BYTES_PER_ELEMENT
+        return cls(
+            line_bytes=line_bytes,
+            base_address=(offset_elements % epl) * BYTES_PER_ELEMENT,
+        )
+
+    @classmethod
+    def for_numpy(cls, array: np.ndarray, line_bytes: int) -> "ArrayPlacement":
+        """Placement mirroring the actual virtual address of a NumPy buffer."""
+        if array.dtype.itemsize != BYTES_PER_ELEMENT:
+            raise ConfigurationError("placement model assumes 8-byte elements")
+        address = array.__array_interface__["data"][0]
+        return cls(line_bytes=line_bytes, base_address=address)
+
+    # ------------------------------------------------------------------
+    @property
+    def elements_per_line(self) -> int:
+        """Elements stored per cache line (8 for 64 B, 32 for 256 B)."""
+        return self.line_bytes // BYTES_PER_ELEMENT
+
+    @property
+    def element_offset(self) -> int:
+        """Slot of element 0 within its cache line (§4.1 modulo)."""
+        return (self.base_address % self.line_bytes) // BYTES_PER_ELEMENT
+
+    def address_of(self, i) -> "np.ndarray | int":
+        """Virtual address of element(s) ``i``."""
+        return self.base_address + np.asarray(i, dtype=np.int64) * BYTES_PER_ELEMENT
+
+    def line_of(self, i) -> "np.ndarray | int":
+        """Cache-line id of element(s) ``i`` (vectorised).
+
+        Line ids are virtual-address based, i.e. element 0 of a misaligned
+        vector may share a line with whatever precedes it; within a single
+        vector only relative ids matter.
+        """
+        return (np.asarray(i, dtype=np.int64) + self.element_offset) // self.elements_per_line
+
+    def slot_of(self, i) -> "np.ndarray | int":
+        """Slot of element(s) ``i`` within their cache line."""
+        return (np.asarray(i, dtype=np.int64) + self.element_offset) % self.elements_per_line
+
+    def line_span(self, i: int, n: int) -> Tuple[int, int]:
+        """Element range ``[first, last]`` (clipped to ``[0, n)``) sharing
+        element ``i``'s cache line.
+
+        This is the "initial and final columns matching the cache line of
+        ``x_j``" computation of Algorithm 3, line 10.
+        """
+        if not 0 <= i < n:
+            raise IndexError(f"element {i} out of range [0, {n})")
+        epl = self.elements_per_line
+        line_start = ((i + self.element_offset) // epl) * epl - self.element_offset
+        first = max(line_start, 0)
+        last = min(line_start + epl - 1, n - 1)
+        return int(first), int(last)
+
+    def lines_used(self, n: int) -> int:
+        """Number of distinct cache lines a vector of length ``n`` occupies."""
+        if n <= 0:
+            return 0
+        first_line = self.line_of(0)
+        last_line = self.line_of(n - 1)
+        return int(last_line - first_line + 1)

@@ -1,0 +1,66 @@
+"""Cache-line block arithmetic.
+
+Free-function helpers over :class:`~repro.arch.address.ArrayPlacement` used by
+the fill-in algorithm (§4.2), the cache simulator and the traffic estimators.
+All functions are vectorised over index arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro._typing import IndexArray, as_index_array
+from repro.arch.address import ArrayPlacement
+
+__all__ = [
+    "line_of_index",
+    "line_span",
+    "lines_touched",
+    "distinct_lines_count",
+    "group_by_line",
+]
+
+
+def line_of_index(indices, placement: ArrayPlacement) -> IndexArray:
+    """Cache-line id of each element index (vectorised §4.1 mapping)."""
+    return np.asarray(placement.line_of(as_index_array(indices)), dtype=np.int64)
+
+
+def line_span(i: int, n: int, placement: ArrayPlacement) -> Tuple[int, int]:
+    """Clipped ``[first, last]`` element range sharing element ``i``'s line."""
+    return placement.line_span(i, n)
+
+
+def lines_touched(indices, placement: ArrayPlacement) -> IndexArray:
+    """Sorted unique cache-line ids touched by a set of element indices."""
+    return np.unique(line_of_index(indices, placement))
+
+
+def distinct_lines_count(indices, placement: ArrayPlacement) -> int:
+    """Number of distinct cache lines touched by the given element indices.
+
+    This is the paper's notion of the x-vector footprint of one pattern row:
+    the fill-in algorithm may add any column whose line is already counted
+    here without increasing the row's compulsory miss count.
+    """
+    return int(len(lines_touched(indices, placement)))
+
+
+def group_by_line(indices, placement: ArrayPlacement):
+    """Group sorted element indices by cache line.
+
+    Yields ``(line_id, members)`` pairs where ``members`` is the sub-array of
+    ``indices`` mapping to ``line_id``.  Input must be sorted ascending
+    (pattern rows always are).
+    """
+    indices = as_index_array(indices)
+    if len(indices) == 0:
+        return
+    lines = line_of_index(indices, placement)
+    boundaries = np.flatnonzero(np.diff(lines)) + 1
+    start = 0
+    for b in list(boundaries) + [len(indices)]:
+        yield int(lines[start]), indices[start:b]
+        start = b

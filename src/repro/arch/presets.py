@@ -1,0 +1,84 @@
+"""Preset machine models for the paper's three evaluation systems (§7.1).
+
+Numbers are taken from the paper where stated (core counts, frequencies,
+64 B vs 256 B cache lines) and from public specifications / STREAM-class
+measurements for the remaining parameters.  The absolute bandwidth and flop
+figures only scale modelled times; the paper's qualitative results depend on
+the *ratios* (flops added per extra cache line) and above all on the line
+size, which is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.machine import CacheLevelSpec, MachineModel
+
+__all__ = ["SKYLAKE", "POWER9", "A64FX", "MACHINES", "get_machine"]
+
+GB = 1e9
+
+#: Dual-socket 24-core Intel Xeon Platinum 8160 ("Skylake-SP"), 2.1 GHz,
+#: 12x8 GiB DDR4-2667.  64 B lines; 32 KiB/8-way L1D per core.
+SKYLAKE = MachineModel(
+    name="skylake",
+    cores=48,
+    frequency_ghz=2.1,
+    cache_levels=(
+        CacheLevelSpec("L1", 32 * 1024, 8, 64, latency_cycles=4),
+        CacheLevelSpec("L2", 1024 * 1024, 16, 64, latency_cycles=14),
+        CacheLevelSpec("L3", 33 * 1024 * 1024, 16, 64, latency_cycles=50),
+    ),
+    memory_bandwidth_bps=205 * GB,
+    peak_flops=3200e9,
+    spmv_flops=40e9,
+    description="2x Intel Xeon Platinum 8160, 12x8GB DDR4-2667 (paper §7.1)",
+)
+
+#: Dual-socket 20-core IBM POWER9 8335-GTH, 2.4 GHz, 16x32 GiB DIMMs.
+#: 64 B lines; 32 KiB/8-way L1D per core.
+POWER9 = MachineModel(
+    name="power9",
+    cores=40,
+    frequency_ghz=2.4,
+    cache_levels=(
+        CacheLevelSpec("L1", 32 * 1024, 8, 64, latency_cycles=4),
+        CacheLevelSpec("L2", 512 * 1024, 8, 64, latency_cycles=12),
+        CacheLevelSpec("L3", 10 * 1024 * 1024, 20, 64, latency_cycles=40),
+    ),
+    memory_bandwidth_bps=230 * GB,
+    peak_flops=1536e9,
+    spmv_flops=35e9,
+    description="2x IBM POWER9 8335-GTH, 16x32GB DIMMs (paper §7.1)",
+)
+
+#: 48-core Fujitsu A64FX, 2.2 GHz, HBM2.  256 B cache lines — four times the
+#: x86/POWER line size, which is the key architectural lever of §7.6.
+A64FX = MachineModel(
+    name="a64fx",
+    cores=48,
+    frequency_ghz=2.2,
+    cache_levels=(
+        CacheLevelSpec("L1", 64 * 1024, 4, 256, latency_cycles=5),
+        CacheLevelSpec("L2", 8 * 1024 * 1024, 16, 256, latency_cycles=37),
+    ),
+    memory_bandwidth_bps=830 * GB,
+    peak_flops=2700e9,
+    spmv_flops=120e9,
+    description="1x Fujitsu A64FX, HBM2, 256B cache lines (paper §7.1)",
+)
+
+#: Registry of all preset machines keyed by lowercase name.
+MACHINES: Dict[str, MachineModel] = {
+    m.name: m for m in (SKYLAKE, POWER9, A64FX)
+}
+
+
+def get_machine(name: str) -> MachineModel:
+    """Look up a preset machine model by (case-insensitive) name."""
+    key = name.lower()
+    if key not in MACHINES:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        )
+    return MACHINES[key]

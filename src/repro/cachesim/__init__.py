@@ -1,0 +1,59 @@
+"""Cache-hierarchy simulator.
+
+Pure Python cannot observe hardware cache behaviour, so this subpackage
+*simulates* it (see DESIGN.md §2): an exact set-associative LRU cache replays
+the memory-access stream of the SpMV kernels and reports hit/miss counts per
+level, attributed to the structure that generated each access (the multiplied
+vector ``x``, the matrix arrays, the output ``y``).
+
+The three public layers:
+
+* :class:`~repro.cachesim.cache.SetAssociativeCache` — one level, exact LRU;
+* :class:`~repro.cachesim.hierarchy.CacheHierarchy` — L1→L2→(L3) stack;
+* :mod:`~repro.cachesim.spmv_sim` — SpMV / FSAI-application trace generation
+  and the measurement entry points used by the Figure 3 experiment.
+"""
+
+from repro.cachesim.cache import CacheStats, SetAssociativeCache, InfiniteCache
+from repro.cachesim.hierarchy import CacheHierarchy, LevelStats
+from repro.cachesim.trace import (
+    REGION_X,
+    REGION_MATRIX,
+    REGION_Y,
+    spmv_trace,
+    fsai_apply_trace,
+)
+from repro.cachesim.spmv_sim import (
+    SpMVSimResult,
+    simulate_spmv,
+    simulate_fsai_application,
+    misses_per_nnz,
+)
+from repro.cachesim.stackdist import (
+    StackDistanceProfile,
+    profile_stack_distances,
+    stack_distances,
+)
+from repro.cachesim.prefetch import PrefetchingCache, PrefetchStats
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "InfiniteCache",
+    "CacheHierarchy",
+    "LevelStats",
+    "REGION_X",
+    "REGION_MATRIX",
+    "REGION_Y",
+    "spmv_trace",
+    "fsai_apply_trace",
+    "SpMVSimResult",
+    "simulate_spmv",
+    "simulate_fsai_application",
+    "misses_per_nnz",
+    "StackDistanceProfile",
+    "profile_stack_distances",
+    "stack_distances",
+    "PrefetchingCache",
+    "PrefetchStats",
+]

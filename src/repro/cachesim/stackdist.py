@@ -1,0 +1,117 @@
+"""Reuse-distance (stack-distance) analysis — Mattson et al., 1970.
+
+The stack distance of an access is the number of *distinct* lines touched
+since the previous access to the same line (∞ for first touches).  For any
+fully-associative LRU cache of capacity ``C`` lines, an access hits iff its
+stack distance is ``< C`` — so one profiling pass yields the exact
+miss-ratio curve for *every* cache size at once.
+
+This gives the reproduction a second, independent lens on the paper's
+claim: the cache-friendly extension adds accesses whose stack distance is
+*zero or tiny* (same line, just touched), while random extensions inject
+large distances.  It also cross-validates the set-associative simulator
+(for high associativity the two must agree closely; exact equality for the
+fully-associative case is asserted in tests).
+
+Implementation: ordered set via a Fenwick (binary-indexed) tree over access
+timestamps — the textbook O(N log N) algorithm, vectorised where possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro._typing import IndexArray
+
+__all__ = ["StackDistanceProfile", "stack_distances", "profile_stack_distances"]
+
+
+def stack_distances(lines: Sequence[int]) -> np.ndarray:
+    """Stack distance of every access in the line-id stream.
+
+    Returns an int64 array; first touches get ``-1`` (infinite distance).
+    """
+    lines = np.asarray(lines, dtype=np.int64)
+    n = len(lines)
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+
+    # Fenwick tree over timestamps: tree[t] = 1 iff the access at time t is
+    # the *most recent* access of its line.
+    tree = np.zeros(n + 1, dtype=np.int64)
+
+    def update(pos: int, delta: int) -> None:
+        pos += 1
+        while pos <= n:
+            tree[pos] += delta
+            pos += pos & (-pos)
+
+    def query(pos: int) -> int:
+        # sum of tree[0..pos-1]
+        s = 0
+        while pos > 0:
+            s += tree[pos]
+            pos -= pos & (-pos)
+        return s
+
+    last_seen: Dict[int, int] = {}
+    total_active = 0
+    for t in range(n):
+        line = int(lines[t])
+        prev = last_seen.get(line)
+        if prev is None:
+            out[t] = -1
+        else:
+            # distinct lines touched strictly after prev = active marks in
+            # (prev, t) = total_active - (marks at or before prev).
+            out[t] = total_active - query(prev + 1)
+            update(prev, -1)
+            total_active -= 1
+        last_seen[line] = t
+        update(t, 1)
+        total_active += 1
+    return out
+
+
+@dataclass(frozen=True)
+class StackDistanceProfile:
+    """Histogram of stack distances plus derived miss-ratio curve."""
+
+    distances: np.ndarray  # -1 = first touch
+    n_accesses: int
+
+    @property
+    def compulsory(self) -> int:
+        """First-touch (infinite-distance) accesses."""
+        return int((self.distances < 0).sum())
+
+    def misses_at(self, capacity_lines: int) -> int:
+        """Exact LRU misses for a fully-associative cache of that capacity."""
+        if capacity_lines <= 0:
+            return self.n_accesses
+        finite = self.distances[self.distances >= 0]
+        return self.compulsory + int((finite >= capacity_lines).sum())
+
+    def miss_ratio_curve(self, capacities: Sequence[int]) -> np.ndarray:
+        """Miss ratio at each capacity (vectorised over the histogram)."""
+        caps = np.asarray(list(capacities), dtype=np.int64)
+        finite = np.sort(self.distances[self.distances >= 0])
+        # misses(c) = compulsory + #(finite >= c)
+        idx = np.searchsorted(finite, caps, side="left")
+        misses = self.compulsory + (len(finite) - idx)
+        return misses / max(self.n_accesses, 1)
+
+    def median_finite_distance(self) -> float:
+        """Median reuse distance of non-compulsory accesses (0 if none)."""
+        finite = self.distances[self.distances >= 0]
+        return float(np.median(finite)) if len(finite) else 0.0
+
+
+def profile_stack_distances(lines: Sequence[int]) -> StackDistanceProfile:
+    """Profile a line-id stream (e.g. ``TraceResult.lines``)."""
+    d = stack_distances(lines)
+    return StackDistanceProfile(distances=d, n_accesses=len(d))

@@ -1,0 +1,216 @@
+"""Command-line interface: regenerate any paper table/figure from a shell.
+
+Examples
+--------
+::
+
+    repro-fsai suite                     # list the 72 synthetic cases
+    repro-fsai table1 --quick            # Table 1 on the 12-case subset
+    repro-fsai table2 --machine a64fx    # = paper Table 5
+    repro-fsai figure3 --quick
+    repro-fsai report -o EXPERIMENTS.md  # full campaign, all machines
+
+``python -m repro`` is an alias for the installed script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.arch.address import ArrayPlacement
+from repro.arch.presets import MACHINES
+from repro.collection.generators.fem import wathen
+from repro.collection.export import export_suite
+from repro.collection.suite import get_case, suite72
+from repro.experiments.campaign import QUICK_CASE_IDS, run_campaign
+from repro.experiments.figures import (
+    figure1,
+    figure2_series,
+    figure3_histogram,
+    figure4_histogram,
+    figure7_histogram,
+    render_bars,
+    render_histogram,
+)
+from repro.experiments.filtering_compare import table3_rows
+from repro.experiments.report import generate_report, run_all_campaigns
+from repro.experiments.correlation import paper_correlations
+from repro.experiments.sensitivity import render_sensitivity, sweep_model_parameters
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.tables import (
+    extension_stats,
+    setup_overhead,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-fsai",
+        description="Regenerate the tables/figures of the cache-aware FSAI paper.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help_: str, machine: bool = True, quick: bool = True):
+        sp = sub.add_parser(name, help=help_)
+        sp.add_argument(
+            "-o", "--output", default=None,
+            help="write the result to this file instead of stdout",
+        )
+        if machine:
+            sp.add_argument(
+                "--machine", default="skylake", choices=sorted(MACHINES),
+                help="target machine model (default skylake)",
+            )
+        if quick:
+            sp.add_argument(
+                "--quick", action="store_true",
+                help="use the 12-case cross-section instead of all 72 matrices",
+            )
+            sp.add_argument(
+                "--cases", type=int, nargs="*", default=None,
+                help="explicit Table 1 case ids to run",
+            )
+        return sp
+
+    st = add("suite", "list the synthetic suite", machine=False, quick=False)
+    st.add_argument(
+        "--detail", action="store_true",
+        help="include structural statistics per matrix (builds all 72)",
+    )
+    add("table1", "Table 1: per-matrix results")
+    add("table2", "Tables 2/4/5: filter sweep on one machine")
+    add("table3", "Table 3: filtering strategy comparison")
+    add("figure1", "Figure 1: pattern extension demo", quick=False)
+    add("figure2", "Figures 2/5/6: per-matrix time decrease")
+    add("figure3", "Figure 3: L1 miss histograms")
+    add("figure4", "Figure 4: Gflop/s histograms")
+    add("figure7", "Figure 7: per-architecture improvement histograms")
+    add("setup-overhead", "§7.4 setup overhead")
+    add("extension-stats", "§7.7 extension size per architecture")
+    add("sensitivity", "model-parameter robustness sweep")
+    add("correlation", "paper-vs-measured rank correlations")
+    exp = add("export-suite", "write the 72 matrices as MatrixMarket files",
+              machine=False)
+    exp.add_argument("directory", help="output directory for .mtx files")
+    rep = add("report", "full EXPERIMENTS.md regeneration", machine=False)
+    rep.add_argument("--no-table1", action="store_true", help="omit the long Table 1")
+    return p
+
+
+def _case_ids(args) -> Optional[Sequence[int]]:
+    if getattr(args, "cases", None):
+        return args.cases
+    if getattr(args, "quick", False):
+        return QUICK_CASE_IDS
+    return None
+
+
+def _campaign(args, *, random_baseline: bool = False):
+    cfg = ExperimentConfig(
+        machine=getattr(args, "machine", "skylake"),
+        include_random_baseline=random_baseline,
+    )
+    return run_campaign(
+        cfg, case_ids=_case_ids(args),
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    out_text: str
+
+    if args.command == "suite":
+        if getattr(args, "detail", False):
+            from repro.collection.stats import suite_report
+
+            out_text = suite_report()
+        else:
+            lines = [
+                f"{c.case_id:>3} {c.name:24} {c.domain:26} {c.generator}"
+                for c in suite72()
+            ]
+            out_text = "\n".join(lines)
+    elif args.command == "table1":
+        out_text = table1(_campaign(args))
+    elif args.command == "table2":
+        camp = _campaign(args)
+        titles = {"skylake": "Table 2", "power9": "Table 4", "a64fx": "Table 5"}
+        out_text = table2(camp, title=titles.get(camp.machine, "Filter sweep"))
+    elif args.command == "table3":
+        ids = _case_ids(args) or [c.case_id for c in suite72()]
+        cases = [get_case(i) for i in ids]
+        machine = MACHINES[getattr(args, "machine", "skylake")]
+        rows = table3_rows(cases, ArrayPlacement.aligned(machine.line_bytes))
+        out_text = table3(rows)
+    elif args.command == "figure1":
+        machine = MACHINES[args.machine]
+        out_text = figure1(
+            wathen(4, 4, seed=3), ArrayPlacement.aligned(machine.line_bytes)
+        )
+    elif args.command == "figure2":
+        out_text = render_bars(figure2_series(_campaign(args)))
+    elif args.command == "figure3":
+        camp = _campaign(args, random_baseline=True)
+        out_text = render_histogram(figure3_histogram(camp))
+    elif args.command == "figure4":
+        camp = _campaign(args, random_baseline=True)
+        out_text = render_histogram(figure4_histogram(camp))
+    elif args.command == "figure7":
+        ids = _case_ids(args)
+        campaigns = run_all_campaigns(
+            case_ids=ids, progress=lambda m: print(m, file=sys.stderr)
+        )
+        out_text = render_histogram(figure7_histogram(list(campaigns.values())))
+    elif args.command == "setup-overhead":
+        out_text = setup_overhead(_campaign(args))
+    elif args.command == "extension-stats":
+        ids = _case_ids(args)
+        campaigns = run_all_campaigns(
+            case_ids=ids, progress=lambda m: print(m, file=sys.stderr)
+        )
+        out_text = extension_stats(campaigns.values())
+    elif args.command == "correlation":
+        out_text = paper_correlations(_campaign(args)).render()
+    elif args.command == "sensitivity":
+        ids = _case_ids(args) or QUICK_CASE_IDS
+        points = sweep_model_parameters(
+            ids, cache_scales=(0.25, 0.125, 0.0625), penalties=(4.0, 8.0, 16.0),
+            machine=getattr(args, "machine", "skylake"),
+        )
+        out_text = render_sensitivity(points)
+    elif args.command == "export-suite":
+        ids = _case_ids(args)
+        cases = None if ids is None else [get_case(i) for i in ids]
+        paths = export_suite(args.directory, cases=cases)
+        out_text = "\n".join(str(p) for p in paths)
+    elif args.command == "report":
+        out_text = generate_report(
+            case_ids=_case_ids(args),
+            progress=lambda m: print(m, file=sys.stderr),
+            include_table1=not args.no_table1,
+        )
+    else:  # pragma: no cover - argparse guards this
+        raise SystemExit(f"unknown command {args.command}")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out_text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        try:
+            print(out_text)
+        except BrokenPipeError:  # e.g. piped into `head`
+            return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Synthetic matrix collection.
+
+The paper evaluates on 72 SPD matrices of the SuiteSparse collection
+(Table 1).  SuiteSparse is not available offline, so this subpackage
+generates a 72-entry synthetic suite that mirrors the paper's set
+row-by-row: same application domain, comparable conditioning spread, SPD by
+construction, scaled to sizes where the full campaign runs in minutes (the
+substitution is documented in DESIGN.md §2).
+
+Generators are honest discretisations, not random SPD noise:
+
+* finite differences — Poisson 2D/3D, anisotropic diffusion,
+  heterogeneous thermal conduction (:mod:`.generators.fd`);
+* finite elements — Q4 plane-stress elasticity, consistent mass matrices,
+  Wathen random-density mass, scaled stiffness, shifted Helmholtz
+  (:mod:`.generators.fem`);
+* graphs — circuit networks, clique-structured economic models
+  (:mod:`.generators.graphs`);
+* optimisation — bound-constrained QP Hessians à la ``jnlbrng``/``torsion``
+  /``obstclae``/``minsurfo`` (:mod:`.generators.optimization`).
+
+:func:`suite72` instantiates the full campaign set with per-entry metadata
+(paper row id, domain, the paper's measured FSAI iterations for
+EXPERIMENTS.md comparisons).
+"""
+
+from repro.collection.generators.fd import (
+    poisson2d,
+    poisson3d,
+    anisotropic_poisson2d,
+    thermal_conduction2d,
+)
+from repro.collection.generators.fem import (
+    elasticity2d,
+    mass2d,
+    wathen,
+    scaled_stiffness2d,
+    shifted_helmholtz2d,
+)
+from repro.collection.generators.graphs import circuit_network, economic_network
+from repro.collection.generators.optimization import (
+    bound_constrained_hessian,
+    minimal_surface_hessian,
+)
+from repro.collection.suite import MatrixCase, suite72, get_case, case_names
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "anisotropic_poisson2d",
+    "thermal_conduction2d",
+    "elasticity2d",
+    "mass2d",
+    "wathen",
+    "scaled_stiffness2d",
+    "shifted_helmholtz2d",
+    "circuit_network",
+    "economic_network",
+    "bound_constrained_hessian",
+    "minimal_surface_hessian",
+    "MatrixCase",
+    "suite72",
+    "get_case",
+    "case_names",
+]

@@ -1,0 +1,1 @@
+"""Matrix generators grouped by discretisation family."""

@@ -1,0 +1,189 @@
+"""Finite-difference generators (CFD / thermal / generic 2D-3D domains).
+
+All generators return SPD :class:`~repro.sparse.csr.CSRMatrix` objects
+assembled fully vectorised (stencil offsets broadcast over the whole grid —
+no per-node Python loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.construct import csr_from_coo_arrays
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "anisotropic_poisson2d",
+    "thermal_conduction2d",
+]
+
+
+def _grid_index2d(nx: int, ny: int):
+    i, j = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    return i.ravel(), j.ravel()
+
+
+def poisson2d(nx: int, ny: int = 0) -> CSRMatrix:
+    """5-point Laplacian on an ``nx × ny`` grid with Dirichlet boundaries.
+
+    The canonical "2D/3D problem" matrix: condition number grows like
+    ``O(h^{-2})``, giving the few-hundred-iteration regime of the paper's
+    Dubcova/fv rows at our scales.
+    """
+    ny = ny or nx
+    if nx < 2 or ny < 2:
+        raise ValueError("grid must be at least 2x2")
+    n = nx * ny
+    i, j = _grid_index2d(nx, ny)
+    k = i * ny + j
+    rows = [k]
+    cols = [k]
+    vals = [np.full(n, 4.0)]
+    for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        ii, jj = i + di, j + dj
+        ok = (ii >= 0) & (ii < nx) & (jj >= 0) & (jj < ny)
+        rows.append(k[ok])
+        cols.append(ii[ok] * ny + jj[ok])
+        vals.append(np.full(ok.sum(), -1.0))
+    return csr_from_coo_arrays(
+        n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def poisson3d(nx: int, ny: int = 0, nz: int = 0) -> CSRMatrix:
+    """7-point Laplacian on an ``nx × ny × nz`` grid, Dirichlet boundaries."""
+    ny = ny or nx
+    nz = nz or nx
+    if min(nx, ny, nz) < 2:
+        raise ValueError("grid must be at least 2x2x2")
+    n = nx * ny * nz
+    i, j, l = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    i, j, l = i.ravel(), j.ravel(), l.ravel()
+    k = (i * ny + j) * nz + l
+    rows = [k]
+    cols = [k]
+    vals = [np.full(n, 6.0)]
+    for di, dj, dl in (
+        (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)
+    ):
+        ii, jj, ll = i + di, j + dj, l + dl
+        ok = (
+            (ii >= 0) & (ii < nx) & (jj >= 0) & (jj < ny)
+            & (ll >= 0) & (ll < nz)
+        )
+        rows.append(k[ok])
+        cols.append((ii[ok] * ny + jj[ok]) * nz + ll[ok])
+        vals.append(np.full(ok.sum(), -1.0))
+    return csr_from_coo_arrays(
+        n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def anisotropic_poisson2d(
+    nx: int, ny: int = 0, *, epsilon: float = 1e-2, theta: float = 0.0
+) -> CSRMatrix:
+    """Rotated anisotropic diffusion — the classic CFD stress test.
+
+    Discretises ``-div(K ∇u)`` with a constant diffusion tensor of
+    eigenvalues ``(1, epsilon)`` rotated by ``theta`` radians, using the
+    standard 9-point stencil.  Small ``epsilon`` produces the strong
+    directional coupling (and slow CG convergence) typical of boundary-layer
+    CFD meshes such as the paper's ``cfd1``/``cfd2`` rows.
+
+    The mixed-derivative cross terms of the 9-point stencil keep the matrix
+    symmetric; SPD holds for ``epsilon > 0`` and moderate rotation.
+    """
+    ny = ny or nx
+    eps = float(epsilon)
+    if eps <= 0:
+        raise ValueError("epsilon must be positive")
+    c, s = np.cos(theta), np.sin(theta)
+    # Diffusion tensor entries.
+    kxx = c * c + eps * s * s
+    kyy = s * s + eps * c * c
+    kxy = (1.0 - eps) * c * s
+    n = nx * ny
+    i, j = _grid_index2d(nx, ny)
+    k = i * ny + j
+    # 9-point stencil weights (standard second-order FD of the rotated
+    # operator; see e.g. Trottenberg et al., Multigrid, §7.7).
+    stencil = {
+        (0, 0): 2.0 * kxx + 2.0 * kyy,
+        (1, 0): -kxx,
+        (-1, 0): -kxx,
+        (0, 1): -kyy,
+        (0, -1): -kyy,
+        (1, 1): -kxy / 2.0,
+        (-1, -1): -kxy / 2.0,
+        (1, -1): kxy / 2.0,
+        (-1, 1): kxy / 2.0,
+    }
+    rows, cols, vals = [], [], []
+    for (di, dj), w in stencil.items():
+        if w == 0.0:
+            continue
+        ii, jj = i + di, j + dj
+        ok = (ii >= 0) & (ii < nx) & (jj >= 0) & (jj < ny)
+        rows.append(k[ok])
+        cols.append(ii[ok] * ny + jj[ok])
+        vals.append(np.full(ok.sum(), w))
+    return csr_from_coo_arrays(
+        n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def thermal_conduction2d(
+    nx: int, ny: int = 0, *, contrast: float = 1e3, seed: int = 0,
+    mass_shift: float = 0.0,
+) -> CSRMatrix:
+    """Heterogeneous heat conduction with lognormal-ish material jumps.
+
+    Harmonic-mean face conductivities over a piecewise-random coefficient
+    field: the heterogeneity contrast controls conditioning.  A positive
+    ``mass_shift`` adds ``shift·diag`` (an implicit-Euler time step), pushing
+    the matrix towards the very-well-conditioned regime of the paper's
+    ``thermomech`` rows (which converge in ~9 iterations).
+    """
+    ny = ny or nx
+    if contrast < 1:
+        raise ValueError("contrast must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Cell conductivities: log-uniform in [1/sqrt(contrast), sqrt(contrast)].
+    log_half = 0.5 * np.log(contrast)
+    kappa = np.exp(rng.uniform(-log_half, log_half, size=(nx + 1, ny + 1)))
+    n = nx * ny
+    i, j = _grid_index2d(nx, ny)
+    k = i * ny + j
+
+    def face_conductivity(ii, jj, ii2, jj2):
+        # Harmonic mean of the two adjacent cell coefficients.
+        a = kappa[ii % (nx + 1), jj % (ny + 1)]
+        b = kappa[ii2 % (nx + 1), jj2 % (ny + 1)]
+        return 2.0 * a * b / (a + b)
+
+    rows, cols, vals = [k], [k], [np.zeros(n)]
+    diag = np.zeros(n)
+    for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        ii, jj = i + di, j + dj
+        ok = (ii >= 0) & (ii < nx) & (jj >= 0) & (jj < ny)
+        w = face_conductivity(i[ok], j[ok], ii[ok], jj[ok])
+        rows.append(k[ok])
+        cols.append(ii[ok] * ny + jj[ok])
+        vals.append(-w)
+        np.add.at(diag, k[ok], w)
+    # Dirichlet boundary: faces to the boundary contribute only to diagonal.
+    for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        ii, jj = i + di, j + dj
+        out = ~((ii >= 0) & (ii < nx) & (jj >= 0) & (jj < ny))
+        w = face_conductivity(i[out], j[out], i[out], j[out])
+        np.add.at(diag, k[out], w)
+    if mass_shift > 0:
+        diag += mass_shift * diag.mean() + mass_shift
+    vals[0] = diag
+    return csr_from_coo_arrays(
+        n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )

@@ -1,0 +1,94 @@
+"""Structural statistics of suite matrices.
+
+Campaign debugging and suite curation need quick answers to "what does this
+matrix look like": size, density, bandwidth, row-length spread, diagonal
+dominance, spectrum enclosure.  :func:`matrix_stats` computes them in one
+pass; :func:`suite_report` renders the whole suite as a table (also
+available as ``repro-fsai suite --detail``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.collection.suite import MatrixCase, suite72
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ordering import bandwidth
+from repro.sparse.validate import gershgorin_bounds
+
+__all__ = ["MatrixStats", "matrix_stats", "suite_report"]
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """One-pass structural summary of a square sparse matrix."""
+
+    n: int
+    nnz: int
+    density: float
+    bandwidth: int
+    avg_row_nnz: float
+    max_row_nnz: int
+    diag_dominance: float  # min_i a_ii / sum_{j!=i} |a_ij| (inf if no offdiag)
+    gershgorin_lo: float
+    gershgorin_hi: float
+
+    @property
+    def gershgorin_cond_bound(self) -> float:
+        """Upper bound on the condition number from the enclosure.
+
+        Only meaningful when the lower bound is positive; ``inf`` otherwise
+        (Gershgorin cannot certify definiteness then).
+        """
+        if self.gershgorin_lo <= 0:
+            return float("inf")
+        return self.gershgorin_hi / self.gershgorin_lo
+
+
+def matrix_stats(a: CSRMatrix) -> MatrixStats:
+    """Compute the summary for one matrix."""
+    rows = a.row_ids()
+    offdiag = rows != a.indices
+    offdiag_sums = np.bincount(
+        rows[offdiag], weights=np.abs(a.data[offdiag]), minlength=a.n_rows
+    )
+    diag = a.diagonal()
+    with np.errstate(divide="ignore"):
+        ratios = np.where(offdiag_sums > 0, diag / np.maximum(offdiag_sums, 1e-300), np.inf)
+    lo, hi = gershgorin_bounds(a)
+    lengths = a.pattern.row_lengths()
+    return MatrixStats(
+        n=a.n_rows,
+        nnz=a.nnz,
+        density=a.nnz / (a.n_rows * a.n_cols) if a.n_rows else 0.0,
+        bandwidth=bandwidth(a),
+        avg_row_nnz=float(lengths.mean()) if len(lengths) else 0.0,
+        max_row_nnz=int(lengths.max()) if len(lengths) else 0,
+        diag_dominance=float(ratios.min()) if len(ratios) else float("inf"),
+        gershgorin_lo=lo,
+        gershgorin_hi=hi,
+    )
+
+
+def suite_report(cases: Optional[Iterable[MatrixCase]] = None) -> str:
+    """Per-case structural table over (a subset of) the suite."""
+    lines = [
+        f"{'id':>3} {'name':24} {'n':>6} {'nnz':>7} {'bw':>6} "
+        f"{'avg row':>8} {'diag dom':>9} {'gersh cond<=':>13} {'paper it':>9}"
+    ]
+    for case in (cases if cases is not None else suite72()):
+        st = matrix_stats(case.build())
+        cond = (
+            f"{st.gershgorin_cond_bound:.1e}"
+            if np.isfinite(st.gershgorin_cond_bound) else "-"
+        )
+        lines.append(
+            f"{case.case_id:>3} {case.name:24} {st.n:>6} {st.nnz:>7} "
+            f"{st.bandwidth:>6} {st.avg_row_nnz:>8.1f} "
+            f"{min(st.diag_dominance, 999.9):>9.2f} {cond:>13} "
+            f"{case.paper.fsai_iters:>9}"
+        )
+    return "\n".join(lines)

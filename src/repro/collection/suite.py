@@ -1,0 +1,294 @@
+"""The 72-matrix synthetic campaign suite.
+
+Each :class:`MatrixCase` mirrors one row of the paper's Table 1: same
+application domain, a generator whose conditioning knob is tuned so the
+*relative* difficulty ordering of the suite resembles the paper's
+(iteration counts from single digits to thousands), and the paper's
+reported numbers attached as :class:`PaperRow` metadata so the experiment
+harness can print paper-vs-measured tables.
+
+Sizes are scaled down from SuiteSparse (~1.8 K - 526 K rows) to ~0.4 K - 5 K
+rows so the complete campaign — all methods × all filters × 72 matrices —
+runs in minutes on a laptop; DESIGN.md §2 documents the substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.collection.generators.fd import (
+    anisotropic_poisson2d,
+    poisson2d,
+    poisson3d,
+    thermal_conduction2d,
+)
+from repro.collection.generators.fem import (
+    elasticity2d,
+    mass2d,
+    scaled_stiffness2d,
+    shifted_helmholtz2d,
+    wathen,
+)
+from repro.collection.generators.graphs import circuit_network, economic_network
+from repro.collection.generators.optimization import (
+    bound_constrained_hessian,
+    minimal_surface_hessian,
+)
+from repro.errors import ConfigurationError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["PaperRow", "MatrixCase", "suite72", "get_case", "case_names"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """Numbers the paper reports for this matrix (Table 1, Skylake).
+
+    ``fsai_iters``/``fsai_solve`` are the baseline columns;
+    ``full_iters``/``full_pct_nnz`` are the FSAIE(full) columns at
+    *filter* = 0.01.  Used only for reporting, never by algorithms.
+    """
+
+    rows: int
+    nnz: int
+    fsai_iters: int
+    fsai_solve: float
+    full_iters: int
+    full_pct_nnz: float
+
+
+_GENERATORS: Dict[str, Callable[..., CSRMatrix]] = {
+    "poisson2d": poisson2d,
+    "poisson3d": poisson3d,
+    "anisotropic_poisson2d": anisotropic_poisson2d,
+    "thermal_conduction2d": thermal_conduction2d,
+    "elasticity2d": elasticity2d,
+    "mass2d": mass2d,
+    "wathen": wathen,
+    "scaled_stiffness2d": scaled_stiffness2d,
+    "shifted_helmholtz2d": shifted_helmholtz2d,
+    "circuit_network": circuit_network,
+    "economic_network": economic_network,
+    "bound_constrained_hessian": bound_constrained_hessian,
+    "minimal_surface_hessian": minimal_surface_hessian,
+}
+
+
+@dataclass(frozen=True)
+class MatrixCase:
+    """One campaign matrix: generator recipe + paper metadata."""
+
+    case_id: int
+    name: str
+    domain: str
+    generator: str
+    params: Tuple[Tuple[str, object], ...]
+    paper: PaperRow
+
+    def build(self) -> CSRMatrix:
+        """Instantiate the matrix (deterministic — seeds are in params)."""
+        if self.generator not in _GENERATORS:
+            raise ConfigurationError(f"unknown generator {self.generator!r}")
+        return _GENERATORS[self.generator](**dict(self.params))
+
+    def __str__(self) -> str:
+        return f"[{self.case_id:2d}] {self.name} ({self.domain})"
+
+
+def _case(cid, name, domain, gen, params, rows, nnz, it, solve, fit, pct):
+    return MatrixCase(
+        case_id=cid,
+        name=name,
+        domain=domain,
+        generator=gen,
+        params=tuple(sorted(params.items())),
+        paper=PaperRow(
+            rows=rows, nnz=nnz, fsai_iters=it, fsai_solve=solve,
+            full_iters=fit, full_pct_nnz=pct,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# The 72 rows.  Generator knobs are chosen so that measured FSAI iteration
+# counts land in the same difficulty band as the paper's (single digits for
+# mass-dominated rows, thousands for the badly-scaled structural rows).
+# Names carry a ``-syn`` suffix to make the substitution explicit.
+# ----------------------------------------------------------------------
+def _build_registry() -> List[MatrixCase]:
+    E, S, A, P = "elasticity2d", "scaled_stiffness2d", "anisotropic_poisson2d", "poisson2d"
+    cases = [
+        _case(1, "shipsec5-syn", "Structural", S,
+              dict(nx=56, ny=28, decades=5.0, seed=1), 179860, 4598604, 1615, 1.08, 1437, 20.82),
+        _case(2, "offshore-syn", "Electromagnetics", A,
+              dict(nx=58, ny=58, epsilon=3e-3, theta=0.35), 259789, 4242673, 782, 0.897, 751, 30.86),
+        _case(3, "smt-syn", "Structural", E,
+              dict(nx=42, ny=14, poisson=0.42), 25710, 3749582, 884, 0.432, 515, 33.19),
+        _case(4, "parabolic_fem-syn", "CFD", A,
+              dict(nx=62, ny=62, epsilon=1e-3, theta=0.0), 525825, 3674625, 1460, 2.26, 1054, 119.98),
+        _case(5, "Dubcova3-syn", "2D/3D", P,
+              dict(nx=56, ny=56), 146689, 3636643, 153, 0.119, 107, 110.01),
+        _case(6, "shipsec1-syn", "Structural", S,
+              dict(nx=52, ny=26, decades=5.5, seed=6), 140874, 3568176, 1985, 1.10, 1945, 19.49),
+        _case(7, "nd3k-syn", "2D/3D", "poisson3d",
+              dict(nx=13), 9000, 3279690, 406, 0.197, 336, 3.03),
+        _case(8, "cfd2-syn", "CFD", A,
+              dict(nx=52, ny=52, epsilon=5e-4, theta=0.6), 123440, 3085406, 2600, 1.21, 1862, 120.11),
+        _case(9, "nasasrb-syn", "Structural", S,
+              dict(nx=48, ny=32, decades=6.0, seed=9), 54870, 2677324, 2768, 1.10, 2739, 8.87),
+        _case(10, "oilpan-syn", "Structural", E,
+              dict(nx=52, ny=12, poisson=0.35), 73752, 2148558, 1620, 0.585, 1326, 47.70),
+        _case(11, "cfd1-syn", "CFD", A,
+              dict(nx=44, ny=44, epsilon=2e-3, theta=0.45), 70656, 1825580, 932, 0.356, 739, 113.35),
+        _case(12, "qa8fm-syn", "Acoustics", "shifted_helmholtz2d",
+              dict(nx=40, sigma=40.0), 66127, 1660579, 13, 0.00414, 11, 28.70),
+        _case(13, "2cubes_sphere-syn", "Electromagnetics", "shifted_helmholtz2d",
+              dict(nx=42, sigma=60.0), 101492, 1647264, 12, 0.0056, 11, 17.30),
+        _case(14, "thermomech_dM-syn", "Thermal", "thermal_conduction2d",
+              dict(nx=44, contrast=5.0, mass_shift=20.0, seed=14), 204316, 1423116, 9, 0.0058, 9, 2.42),
+        _case(15, "msc10848-syn", "Structural", E,
+              dict(nx=36, ny=12, poisson=0.38), 10848, 1229776, 712, 0.218, 528, 21.51),
+        _case(16, "Dubcova2-syn", "2D/3D", P,
+              dict(nx=44, ny=44), 65025, 1030225, 158, 0.0604, 106, 162.91),
+        _case(17, "gyro-syn", "Model Reduction", S,
+              dict(nx=40, ny=40, decades=7.0, seed=17), 17361, 1021159, 4457, 1.72, 3400, 35.16),
+        _case(18, "gyro_k-syn", "Model Reduction", S,
+              dict(nx=40, ny=40, decades=7.0, seed=18), 17361, 1021159, 4444, 1.54, 3450, 35.16),
+        _case(19, "olafu-syn", "Structural", E,
+              dict(nx=44, ny=11, poisson=0.40), 16146, 1015156, 1782, 0.417, 1336, 22.64),
+        _case(20, "bundle1-syn", "Computer Graphics/Vision", "economic_network",
+              dict(n=1200, clique_size=12, leak=2.0, seed=20), 10581, 770811, 22, 0.00682, 20, 0.01),
+        _case(21, "G2_circuit-syn", "Circuit Simulation", "circuit_network",
+              dict(n=2400, leak=2e-4, seed=21), 150102, 726674, 1026, 0.384, 772, 215.71),
+        _case(22, "Pres_Poisson-syn", "CFD", P,
+              dict(nx=38, ny=38), 14822, 715804, 285, 0.0653, 130, 61.49),
+        _case(23, "thermomech_TC-syn", "Thermal", "thermal_conduction2d",
+              dict(nx=40, contrast=4.0, mass_shift=25.0, seed=23), 102158, 711558, 9, 0.00394, 9, 3.65),
+        _case(24, "cbuckle-syn", "Structural", E,
+              dict(nx=28, ny=10, poisson=0.30), 13681, 676515, 114, 0.0248, 101, 24.08),
+        _case(25, "finan512-syn", "Economic", "economic_network",
+              dict(n=1600, clique_size=8, leak=0.8, seed=25), 74752, 596992, 10, 0.00288, 9, 42.53),
+        _case(26, "crystm03-syn", "Materials", "mass2d",
+              dict(nx=38), 24696, 583770, 13, 0.00345, 11, 26.34),
+        _case(27, "thermal1-syn", "Thermal", "thermal_conduction2d",
+              dict(nx=42, contrast=1e4, seed=27), 82654, 574458, 735, 0.280, 532, 189.89),
+        _case(28, "wathen120-syn", "Random 2D/3D", "wathen",
+              dict(nx=22, ny=22, seed=28), 36441, 565761, 25, 0.0061, 19, 98.41),
+        _case(29, "apache1-syn", "Structural", S,
+              dict(nx=42, ny=42, decades=4.5, seed=29), 80800, 542184, 1663, 0.443, 1574, 73.41),
+        _case(30, "gridgena-syn", "Optimization", A,
+              dict(nx=40, ny=40, epsilon=8e-4, theta=0.25), 48962, 512084, 1729, 0.432, 1205, 141.49),
+        _case(31, "wathen100-syn", "Random 2D/3D", "wathen",
+              dict(nx=20, ny=20, seed=31), 30401, 471601, 25, 0.00467, 19, 98.18),
+        _case(32, "bcsstk17-syn", "Structural", E,
+              dict(nx=40, ny=10, poisson=0.33), 10974, 428650, 627, 0.127, 491, 28.78),
+        _case(33, "cvxbqp1-syn", "Optimization", "circuit_network",
+              dict(n=2200, leak=5e-5, extra_edges=0.15, seed=33), 50000, 349968, 5032, 1.60, 5045, 0.22),
+        _case(34, "Kuu-syn", "Structural", E,
+              dict(nx=24, ny=8, poisson=0.30), 7102, 340200, 147, 0.0301, 115, 44.54),
+        _case(35, "shallow_water2-syn", "CFD", "thermal_conduction2d",
+              dict(nx=40, contrast=2.0, mass_shift=8.0, seed=35), 81920, 327680, 14, 0.00342, 10, 161.23),
+        _case(36, "shallow_water1-syn", "CFD", "thermal_conduction2d",
+              dict(nx=40, contrast=1.5, mass_shift=30.0, seed=36), 81920, 327680, 8, 0.002, 6, 59.76),
+        _case(37, "crystm02-syn", "Materials", "mass2d",
+              dict(nx=34), 13965, 322905, 13, 0.00305, 11, 18.40),
+        _case(38, "bcsstk16-syn", "Structural", "shifted_helmholtz2d",
+              dict(nx=34, sigma=2.0), 4884, 290378, 83, 0.0232, 79, 16.08),
+        _case(39, "s2rmq4m1-syn", "Structural", E,
+              dict(nx=34, ny=9, poisson=0.36, e_modulus=2.0), 5489, 263351, 360, 0.0746, 353, 17.41),
+        _case(40, "s1rmq4m1-syn", "Structural", E,
+              dict(nx=34, ny=9, poisson=0.34, e_modulus=1.5), 5489, 262411, 299, 0.0617, 290, 20.99),
+        _case(41, "Dubcova1-syn", "2D/3D", P,
+              dict(nx=32, ny=32), 16129, 253009, 84, 0.0175, 55, 167.32),
+        _case(42, "bcsstk25-syn", "Structural", S,
+              dict(nx=36, ny=36, decades=6.5, seed=42), 15439, 252241, 3880, 0.697, 3366, 38.13),
+        _case(43, "bcsstk28-syn", "Structural", E,
+              dict(nx=38, ny=8, poisson=0.44), 4410, 219024, 1003, 0.221, 715, 39.46),
+        _case(44, "s2rmt3m1-syn", "Structural", E,
+              dict(nx=32, ny=8, poisson=0.37, e_modulus=2.0), 5489, 217681, 384, 0.0772, 350, 29.05),
+        _case(45, "s1rmt3m1-syn", "Structural", E,
+              dict(nx=32, ny=8, poisson=0.35, e_modulus=1.5), 5489, 217651, 320, 0.0636, 301, 32.16),
+        _case(46, "minsurfo-syn", "Optimization", "minimal_surface_hessian",
+              dict(nx=38, seed=46), 40806, 203622, 42, 0.00921, 29, 356.20),
+        _case(47, "jnlbrng1-syn", "Optimization", "bound_constrained_hessian",
+              dict(nx=38, active_fraction=0.4, barrier=30.0, seed=47), 40000, 199200, 62, 0.0138, 60, 58.40),
+        _case(48, "torsion1-syn", "Optimization", "bound_constrained_hessian",
+              dict(nx=38, active_fraction=0.55, barrier=60.0, seed=48), 40000, 197608, 31, 0.00688, 23, 206.92),
+        _case(49, "obstclae-syn", "Optimization", "bound_constrained_hessian",
+              dict(nx=38, active_fraction=0.55, barrier=60.0, seed=49), 40000, 197608, 31, 0.0068, 23, 206.92),
+        _case(50, "t2dah_e-syn", "Model Reduction", "mass2d",
+              dict(nx=30, density=3.0), 11445, 176117, 32, 0.00601, 15, 127.74),
+        _case(51, "nasa2910-syn", "Structural", E,
+              dict(nx=30, ny=8, poisson=0.32), 2910, 174296, 390, 0.106, 331, 24.55),
+        _case(52, "Muu-syn", "Structural", "mass2d",
+              dict(nx=24, density=1.0), 7102, 170134, 10, 0.00184, 8, 16.54),
+        _case(53, "bcsstk24-syn", "Structural", E,
+              dict(nx=30, ny=7, poisson=0.41), 3562, 159910, 773, 0.151, 363, 20.17),
+        _case(54, "bcsstk18-syn", "Structural", S,
+              dict(nx=30, ny=30, decades=5.0, seed=54), 11948, 149090, 547, 0.116, 489, 34.02),
+        _case(55, "ted_B-syn", "Thermal", "thermal_conduction2d",
+              dict(nx=32, contrast=3.0, mass_shift=18.0, seed=55), 10605, 144579, 9, 0.00162, 8, 14.54),
+        _case(56, "ted_B_unscaled-syn", "Thermal", "thermal_conduction2d",
+              dict(nx=32, contrast=3.0, mass_shift=18.0, seed=56), 10605, 144579, 9, 0.00153, 8, 14.54),
+        _case(57, "bodyy6-syn", "Structural", "bound_constrained_hessian",
+              dict(nx=32, active_fraction=0.05, barrier=4.0, seed=57), 19366, 134208, 594, 0.135, 599, 24.55),
+        _case(58, "bodyy5-syn", "Structural", "bound_constrained_hessian",
+              dict(nx=32, active_fraction=0.12, barrier=8.0, seed=58), 18589, 128853, 241, 0.0606, 243, 31.81),
+        _case(59, "aft01-syn", "Acoustics", "shifted_helmholtz2d",
+              dict(nx=30, sigma=0.02), 8205, 125567, 418, 0.0813, 320, 54.98),
+        _case(60, "bodyy4-syn", "Structural", "bound_constrained_hessian",
+              dict(nx=32, active_fraction=0.25, barrier=15.0, seed=60), 17546, 121550, 97, 0.0235, 97, 44.64),
+        _case(61, "bcsstk15-syn", "Structural", E,
+              dict(nx=26, ny=7, poisson=0.31), 3948, 117816, 240, 0.0581, 220, 41.91),
+        _case(62, "crystm01-syn", "Materials", "mass2d",
+              dict(nx=28), 4875, 105339, 13, 0.00397, 11, 17.26),
+        _case(63, "nasa4704-syn", "Structural", E,
+              dict(nx=34, ny=7, poisson=0.43), 4704, 104756, 1410, 0.306, 1217, 32.10),
+        _case(64, "msc04515-syn", "Structural", E,
+              dict(nx=28, ny=7, poisson=0.39), 4515, 97707, 572, 0.103, 434, 50.49),
+        _case(65, "fv3-syn", "2D/3D", P,
+              dict(nx=28, ny=28), 9801, 87025, 126, 0.0246, 124, 97.97),
+        _case(66, "fv2-syn", "2D/3D", "shifted_helmholtz2d",
+              dict(nx=26, sigma=25.0), 9801, 87025, 15, 0.00283, 14, 97.97),
+        _case(67, "fv1-syn", "2D/3D", "shifted_helmholtz2d",
+              dict(nx=26, sigma=30.0), 9604, 85264, 15, 0.00282, 14, 93.14),
+        _case(68, "bcsstk13-syn", "CFD", A,
+              dict(nx=26, ny=26, epsilon=1.5e-3, theta=0.5), 2003, 83883, 566, 0.176, 496, 41.15),
+        _case(69, "sts4098-syn", "Structural", E,
+              dict(nx=22, ny=7, poisson=0.29), 4098, 72356, 100, 0.0181, 86, 51.71),
+        _case(70, "nasa2146-syn", "Structural", E,
+              dict(nx=22, ny=6, poisson=0.33), 2146, 72250, 108, 0.0212, 105, 31.30),
+        _case(71, "bcsstk14-syn", "Structural", E,
+              dict(nx=20, ny=6, poisson=0.30), 1806, 63454, 115, 0.0261, 105, 16.71),
+        _case(72, "bcsstk27-syn", "Structural", "shifted_helmholtz2d",
+              dict(nx=20, sigma=1.0), 1224, 56126, 90, 0.0184, 89, 15.70),
+    ]
+    ids = [c.case_id for c in cases]
+    if ids != list(range(1, 73)):
+        raise ConfigurationError("suite registry ids must be 1..72 in order")
+    return cases
+
+
+_REGISTRY: List[MatrixCase] = _build_registry()
+
+
+def suite72() -> List[MatrixCase]:
+    """The full 72-case campaign suite, ordered by Table 1 row id."""
+    return list(_REGISTRY)
+
+
+def get_case(key) -> MatrixCase:
+    """Look up a case by 1-based id or by name."""
+    if isinstance(key, int):
+        if not 1 <= key <= len(_REGISTRY):
+            raise KeyError(f"case id {key} out of range 1..{len(_REGISTRY)}")
+        return _REGISTRY[key - 1]
+    for c in _REGISTRY:
+        if c.name == key or c.name == f"{key}-syn":
+            return c
+    raise KeyError(f"no case named {key!r}")
+
+
+def case_names() -> List[str]:
+    return [c.name for c in _REGISTRY]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operand has an incompatible or non-sensical shape."""
+
+
+class PatternError(ReproError, ValueError):
+    """A sparsity pattern is malformed (unsorted, duplicated, out of range)."""
+
+
+class NotSymmetricError(ReproError, ValueError):
+    """A matrix required to be (structurally or numerically) symmetric is not."""
+
+
+class NotSPDError(ReproError, ValueError):
+    """A matrix required to be symmetric positive definite is not.
+
+    Raised by the dense Cholesky factorisation used for the local FSAI row
+    systems when a non-positive pivot is encountered.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach its tolerance within its budget."""
+
+    def __init__(self, message: str, iterations: int, residual: float) -> None:
+        super().__init__(message)
+        #: Number of iterations performed before giving up.
+        self.iterations = iterations
+        #: Final relative residual norm.
+        self.residual = residual
+
+
+class MatrixFormatError(ReproError, ValueError):
+    """A serialized matrix (e.g. Matrix Market text) could not be parsed."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid machine/experiment configuration was supplied."""

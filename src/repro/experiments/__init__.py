@@ -1,0 +1,33 @@
+"""Experiment harness.
+
+Regenerates every table and figure of the paper's evaluation (§7) on the
+synthetic suite + simulated machines:
+
+* :mod:`~repro.experiments.runner` — one (matrix × method × filter ×
+  machine) measurement;
+* :mod:`~repro.experiments.campaign` — sweeps over the 72-case suite;
+* :mod:`~repro.experiments.tables` — Table 1/2/3/4/5 + §7.4/§7.7 text
+  renderings;
+* :mod:`~repro.experiments.figures` — Figure 1-7 data series and ASCII
+  renderings;
+* :mod:`~repro.experiments.report` — EXPERIMENTS.md generation
+  (paper-reported vs measured, per experiment).
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    MethodRun,
+    CaseResult,
+    run_case,
+)
+from repro.experiments.campaign import CampaignResult, run_campaign, quick_case_ids
+
+__all__ = [
+    "ExperimentConfig",
+    "MethodRun",
+    "CaseResult",
+    "run_case",
+    "CampaignResult",
+    "run_campaign",
+    "quick_case_ids",
+]

@@ -1,0 +1,80 @@
+"""Campaign sweeps over the 72-case suite."""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.collection.suite import MatrixCase, get_case, suite72
+from repro.experiments.runner import CaseResult, ExperimentConfig, run_case
+
+__all__ = ["CampaignResult", "run_campaign", "quick_case_ids", "QUICK_CASE_IDS"]
+
+#: A 12-case cross-section of the suite — one per domain and difficulty
+#: band — used by tests and ``--quick`` benchmark runs.
+QUICK_CASE_IDS = (5, 9, 12, 21, 24, 28, 37, 46, 54, 59, 65, 72)
+
+
+def quick_case_ids() -> Sequence[int]:
+    """Case ids of the quick cross-section subset."""
+    return QUICK_CASE_IDS
+
+
+@dataclass
+class CampaignResult:
+    """Results of one campaign sweep on one machine."""
+
+    config: ExperimentConfig
+    results: List[CaseResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def machine(self) -> str:
+        return self.config.machine
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_id(self, case_id: int) -> CaseResult:
+        for r in self.results:
+            if r.case.case_id == case_id:
+                return r
+        raise KeyError(f"case id {case_id} not in campaign")
+
+
+def run_campaign(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    case_ids: Optional[Iterable[int]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run the campaign over (a subset of) the suite.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration; defaults to the paper's §7.1 setup on the
+        Skylake machine model.
+    case_ids:
+        1-based Table 1 row ids to include; ``None`` runs all 72.
+    progress:
+        Optional sink for per-case progress lines (e.g. ``print``).
+    """
+    config = config or ExperimentConfig()
+    cases: List[MatrixCase] = (
+        suite72() if case_ids is None else [get_case(i) for i in case_ids]
+    )
+    out = CampaignResult(config=config)
+    t0 = time.perf_counter()
+    for case in cases:
+        t_case = time.perf_counter()
+        out.results.append(run_case(case, config))
+        if progress is not None:
+            progress(
+                f"[{config.machine}] {case.name}: "
+                f"{time.perf_counter() - t_case:.2f}s"
+            )
+    out.elapsed_seconds = time.perf_counter() - t0
+    return out

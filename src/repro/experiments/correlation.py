@@ -1,0 +1,99 @@
+"""Paper-vs-measured correlation analysis.
+
+Absolute iteration counts cannot match the paper (the suite is synthetic
+and scaled), but a faithful suite should preserve the paper's *difficulty
+ordering*: matrices the paper found hard should be hard here too, and the
+per-matrix improvement structure should correlate.  This module computes
+rank correlations between paper-reported and measured per-matrix
+quantities — a quantitative honesty check on the suite substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.campaign import CampaignResult
+
+__all__ = ["spearman", "CorrelationReport", "paper_correlations"]
+
+
+def _ranks(x: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean rank)."""
+    order = np.argsort(x, kind="stable")
+    ranks = np.empty(len(x), dtype=np.float64)
+    ranks[order] = np.arange(1, len(x) + 1)
+    # Average tied groups.
+    sorted_x = x[order]
+    i = 0
+    while i < len(x):
+        j = i
+        while j + 1 < len(x) and sorted_x[j + 1] == sorted_x[i]:
+            j += 1
+        if j > i:
+            ranks[order[i: j + 1]] = ranks[order[i: j + 1]].mean()
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation coefficient (from scratch, tie-aware)."""
+    x = np.asarray(list(x), dtype=np.float64)
+    y = np.asarray(list(y), dtype=np.float64)
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need two equal-length sequences of length >= 2")
+    rx, ry = _ranks(x), _ranks(y)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx @ rx) * (ry @ ry))
+    return float((rx @ ry) / denom) if denom > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class CorrelationReport:
+    """Rank correlations between paper-reported and measured quantities."""
+
+    iterations_rho: float
+    improvement_rho: float
+    pct_nnz_rho: float
+    n_matrices: int
+
+    def render(self) -> str:
+        return (
+            "Paper-vs-measured rank correlations "
+            f"({self.n_matrices} matrices):\n"
+            f"  FSAI iteration counts:        rho = {self.iterations_rho:+.3f}\n"
+            f"  FSAIE(full) iter improvement: rho = {self.improvement_rho:+.3f}\n"
+            f"  FSAIE(full) %NNZ added:       rho = {self.pct_nnz_rho:+.3f}"
+        )
+
+
+def paper_correlations(
+    campaign: CampaignResult, *, filter_value: float = 0.01
+) -> CorrelationReport:
+    """Correlate the campaign's per-matrix results with Table 1's numbers."""
+    paper_iters: List[float] = []
+    meas_iters: List[float] = []
+    paper_imp: List[float] = []
+    meas_imp: List[float] = []
+    paper_pct: List[float] = []
+    meas_pct: List[float] = []
+    for r in campaign.results:
+        p = r.case.paper
+        full = r.get("fsaie_full", filter_value)
+        paper_iters.append(p.fsai_iters)
+        meas_iters.append(r.baseline.iterations)
+        paper_imp.append(
+            100.0 * (p.fsai_iters - p.full_iters) / p.fsai_iters
+        )
+        meas_imp.append(r.iter_improvement(full))
+        paper_pct.append(p.full_pct_nnz)
+        meas_pct.append(full.pct_nnz)
+    return CorrelationReport(
+        iterations_rho=spearman(paper_iters, meas_iters),
+        improvement_rho=spearman(paper_imp, meas_imp),
+        pct_nnz_rho=spearman(paper_pct, meas_pct),
+        n_matrices=len(campaign.results),
+    )

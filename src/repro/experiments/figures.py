@@ -1,0 +1,262 @@
+"""Data series + ASCII renderings of the paper's figures (1-7).
+
+Figures are returned as structured data (so tests and notebooks can consume
+them) together with a plain-text rendering for terminal use — the library
+has no plotting dependency by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.address import ArrayPlacement
+from repro.experiments.campaign import CampaignResult
+from repro.fsai.fillin import extend_pattern_cache_friendly, extension_entries
+from repro.fsai.filtering import filter_extension_by_precalc
+from repro.fsai.frobenius import precalculate_g
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.pattern import Pattern
+
+__all__ = [
+    "figure1_patterns",
+    "render_pattern_ascii",
+    "figure1",
+    "BarSeries",
+    "figure2_series",
+    "render_bars",
+    "Histogram",
+    "figure3_histogram",
+    "figure4_histogram",
+    "figure7_histogram",
+    "render_histogram",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — pattern extension example on a small matrix
+# ----------------------------------------------------------------------
+def figure1_patterns(
+    a: CSRMatrix,
+    placement: ArrayPlacement,
+    *,
+    filter_value: float = 0.01,
+) -> Tuple[Pattern, Pattern, Pattern]:
+    """The three stages of Figure 1: initial / extended / filtered pattern."""
+    base = a.pattern.tril().with_full_diagonal()
+    extended = extend_pattern_cache_friendly(base, placement, triangular="lower")
+    g_approx = precalculate_g(a, extended)
+    filtered = filter_extension_by_precalc(g_approx, base, filter_value)
+    return base, extended, filtered
+
+
+def render_pattern_ascii(
+    pattern: Pattern,
+    *,
+    base: Optional[Pattern] = None,
+    chars: str = ".#+",
+) -> str:
+    """Render a (small) pattern as an ASCII grid.
+
+    ``chars`` = (absent, base entry, added entry); with ``base=None`` all
+    entries use the base glyph.
+    """
+    mask = pattern.to_dense_mask()
+    base_mask = base.to_dense_mask() if base is not None else mask
+    rows = []
+    for i in range(pattern.n_rows):
+        row = []
+        for j in range(pattern.n_cols):
+            if not mask[i, j]:
+                row.append(chars[0])
+            elif base_mask[i, j]:
+                row.append(chars[1])
+            else:
+                row.append(chars[2])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def figure1(a: CSRMatrix, placement: ArrayPlacement, *, filter_value: float = 0.01) -> str:
+    """Full Figure 1 rendering: three labelled ASCII panels."""
+    base, extended, filtered = figure1_patterns(
+        a, placement, filter_value=filter_value
+    )
+    panels = [
+        ("Initial lower-triangular pattern", render_pattern_ascii(base)),
+        (
+            f"Cache-friendly extension ({placement.line_bytes} B lines, "
+            f"+{extension_entries(base, extended).nnz} entries)",
+            render_pattern_ascii(extended, base=base),
+        ),
+        (
+            f"Filtered pattern (filter={filter_value:g}, "
+            f"+{extension_entries(base, filtered).nnz} entries kept)",
+            render_pattern_ascii(filtered, base=base),
+        ),
+    ]
+    return "\n\n".join(f"--- {title} ---\n{body}" for title, body in panels)
+
+
+# ----------------------------------------------------------------------
+# Figures 2 / 5 / 6 — per-matrix time decrease bars
+# ----------------------------------------------------------------------
+@dataclass
+class BarSeries:
+    """Per-matrix bar data: matrix ids and two improvement series."""
+
+    ids: List[int]
+    best_filter: List[float]
+    common_filter: List[float]
+    machine: str
+    common_value: float
+
+
+def figure2_series(
+    campaign: CampaignResult, *, common_filter: float = 0.01
+) -> BarSeries:
+    """Figures 2/5/6 data: FSAIE(full) time decrease per matrix."""
+    ids, best, common = [], [], []
+    for r in campaign.results:
+        ids.append(r.case.case_id)
+        best.append(r.time_improvement(r.best_filter_run("fsaie_full")))
+        common.append(r.time_improvement(r.get("fsaie_full", common_filter)))
+    return BarSeries(
+        ids=ids, best_filter=best, common_filter=common,
+        machine=campaign.machine, common_value=common_filter,
+    )
+
+
+def render_bars(series: BarSeries, *, width: int = 50) -> str:
+    """ASCII horizontal bars: one row per matrix, two marks per row."""
+    lo = min(min(series.best_filter), min(series.common_filter), 0.0)
+    hi = max(max(series.best_filter), max(series.common_filter), 1e-9)
+    span = hi - lo if hi > lo else 1.0
+
+    def bar(value: float) -> str:
+        pos = int(round((value - lo) / span * (width - 1)))
+        cells = ["-"] * width
+        zero = int(round((0.0 - lo) / span * (width - 1)))
+        cells[zero] = "|"
+        cells[pos] = "#"
+        return "".join(cells)
+
+    lines = [
+        f"Time decrease of FSAIE(full) vs FSAI on {series.machine} "
+        f"(#: best filter; range {lo:.1f}%..{hi:.1f}%)"
+    ]
+    for cid, b, c in zip(series.ids, series.best_filter, series.common_filter):
+        lines.append(f"{cid:>3} {bar(b)} best={b:6.2f}%  f={series.common_value:g}: {c:6.2f}%")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figures 3 / 4 / 7 — histograms
+# ----------------------------------------------------------------------
+@dataclass
+class Histogram:
+    """A labelled multi-series histogram over common bin edges."""
+
+    edges: np.ndarray
+    counts: Dict[str, np.ndarray]
+    title: str
+    xlabel: str
+    median: Dict[str, float]
+
+
+def _build_histogram(
+    series: Dict[str, Sequence[float]],
+    title: str,
+    xlabel: str,
+    *,
+    n_bins: int = 10,
+) -> Histogram:
+    allvals = np.concatenate([np.asarray(list(v), dtype=float) for v in series.values()])
+    lo, hi = float(allvals.min()), float(allvals.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, n_bins + 1)
+    counts = {
+        k: np.histogram(np.asarray(list(v), dtype=float), bins=edges)[0]
+        for k, v in series.items()
+    }
+    median = {k: float(np.median(np.asarray(list(v)))) for k, v in series.items()}
+    return Histogram(edges=edges, counts=counts, title=title, xlabel=xlabel, median=median)
+
+
+def figure3_histogram(campaign: CampaignResult, *, n_bins: int = 10) -> Histogram:
+    """Figure 3: L1 misses on the multiplied vector per ``G`` nnz.
+
+    Requires a campaign run with ``include_random_baseline=True``.
+    """
+    series = {
+        "G_FSAI": [r.baseline.x_misses_per_g_nnz for r in campaign.results],
+        "G_FSAIE(full)": [
+            r.get("fsaie_full", 0.01).x_misses_per_g_nnz for r in campaign.results
+        ],
+        "G_random": [
+            r.get("fsaie_random", 0.01).x_misses_per_g_nnz for r in campaign.results
+        ],
+    }
+    return _build_histogram(
+        series,
+        title=f"L1 misses on p per G nnz in G^T G p ({campaign.machine})",
+        xlabel="misses / nnz(G)",
+        n_bins=n_bins,
+    )
+
+
+def figure4_histogram(campaign: CampaignResult, *, n_bins: int = 10) -> Histogram:
+    """Figure 4: modelled Gflop/s of the ``G^T G p`` operation."""
+    series = {
+        "G_FSAI": [r.baseline.gflops for r in campaign.results],
+        "G_FSAIE(full)": [
+            r.get("fsaie_full", 0.01).gflops for r in campaign.results
+        ],
+        "G_random": [
+            r.get("fsaie_random", 0.01).gflops for r in campaign.results
+        ],
+    }
+    return _build_histogram(
+        series,
+        title=f"Gflop/s of the G^T G p operation ({campaign.machine})",
+        xlabel="Gflop/s",
+        n_bins=n_bins,
+    )
+
+
+def figure7_histogram(
+    campaigns: Sequence[CampaignResult], *, n_bins: int = 10
+) -> Histogram:
+    """Figure 7: per-architecture histogram of best-filter time improvement."""
+    series = {
+        camp.machine: [
+            r.time_improvement(r.best_filter_run("fsaie_full"))
+            for r in camp.results
+        ]
+        for camp in campaigns
+    }
+    return _build_histogram(
+        series,
+        title="Time improvement of FSAIE(full), best filter per matrix",
+        xlabel="time improvement %",
+        n_bins=n_bins,
+    )
+
+
+def render_histogram(hist: Histogram, *, width: int = 40) -> str:
+    """ASCII rendering: one block per series, one bar per bin."""
+    peak = max(int(c.max()) for c in hist.counts.values()) or 1
+    lines = [hist.title]
+    for name, counts in hist.counts.items():
+        lines.append(f"\n  {name}  (median {hist.median[name]:.3g})")
+        for b in range(len(counts)):
+            bar = "#" * int(round(counts[b] / peak * width))
+            lines.append(
+                f"  [{hist.edges[b]:>9.3g}, {hist.edges[b + 1]:>9.3g}) "
+                f"{counts[b]:>3d} {bar}"
+            )
+    lines.append(f"\n  x-axis: {hist.xlabel}")
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Single-experiment runner: one matrix × method × filter × machine.
+
+Responsibilities split exactly as in DESIGN.md §2: *iteration counts* come
+from real PCG solves with the actually-computed preconditioners; *times* come
+from the roofline cost model over simulated cache traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.address import ArrayPlacement
+from repro.arch.machine import MachineModel
+from repro.arch.presets import get_machine
+from repro.collection.suite import MatrixCase
+from repro.fsai.extended import (
+    FSAISetup,
+    setup_fsai,
+    setup_fsaie_full,
+    setup_fsaie_joint,
+    setup_fsaie_random,
+    setup_fsaie_sp,
+)
+from repro.perf.costmodel import CostModel, KernelCost
+from repro.solvers.cg import pcg
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ExperimentConfig", "MethodRun", "CaseResult", "run_case", "make_rhs"]
+
+#: Filter sweep of the paper's Tables 2/4/5.
+PAPER_FILTERS: Tuple[float, ...] = (0.0, 0.001, 0.01, 0.1)
+
+_SETUPS = {
+    "fsaie_sp": setup_fsaie_sp,
+    "fsaie_full": setup_fsaie_full,
+    "fsaie_joint": setup_fsaie_joint,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Campaign-wide knobs (defaults reproduce the paper's §7.1 setup)."""
+
+    machine: str = "skylake"
+    filters: Tuple[float, ...] = PAPER_FILTERS
+    methods: Tuple[str, ...] = ("fsaie_sp", "fsaie_full")
+    rtol: float = 1e-8
+    max_iterations: int = 10_000
+    #: Cache-capacity scale restoring paper footprint/L1 ratios (DESIGN §2).
+    cache_scale: float = 0.125
+    rhs_seed: int = 2021
+    precalc_rtol: float = 1e-2
+    precalc_iterations: int = 20
+    include_random_baseline: bool = False
+
+    def machine_model(self) -> MachineModel:
+        return get_machine(self.machine)
+
+
+@dataclass
+class MethodRun:
+    """Measured + modelled outcome of one preconditioner on one matrix."""
+
+    method: str
+    filter_value: Optional[float]
+    iterations: int
+    converged: bool
+    relative_residual: float
+    setup_seconds: float
+    solve_seconds: float
+    g_nnz: int
+    pct_nnz: float
+    x_misses_per_g_nnz: float
+    gflops: float
+
+    def __repr__(self) -> str:
+        f = "-" if self.filter_value is None else f"{self.filter_value:g}"
+        return (
+            f"MethodRun({self.method}/f={f}: {self.iterations} iters, "
+            f"solve={self.solve_seconds:.3e}s)"
+        )
+
+
+@dataclass
+class CaseResult:
+    """All method runs for one matrix on one machine."""
+
+    case: MatrixCase
+    n: int
+    nnz: int
+    machine: str
+    baseline: MethodRun
+    runs: Dict[Tuple[str, float], MethodRun] = field(default_factory=dict)
+
+    def get(self, method: str, filter_value: float) -> MethodRun:
+        return self.runs[(method, filter_value)]
+
+    def best_filter_run(self, method: str) -> MethodRun:
+        """Run with the lowest modelled solve time for ``method``."""
+        candidates = [r for (m, _), r in self.runs.items() if m == method]
+        if not candidates:
+            raise KeyError(f"no runs for method {method!r}")
+        return min(candidates, key=lambda r: r.solve_seconds)
+
+    def time_improvement(self, run: MethodRun) -> float:
+        """Solve-time decrease vs the FSAI baseline, percent."""
+        return 100.0 * (self.baseline.solve_seconds - run.solve_seconds) / self.baseline.solve_seconds
+
+    def iter_improvement(self, run: MethodRun) -> float:
+        """Iteration-count decrease vs the FSAI baseline, percent."""
+        if self.baseline.iterations == 0:
+            return 0.0
+        return 100.0 * (self.baseline.iterations - run.iterations) / self.baseline.iterations
+
+
+def make_rhs(a: CSRMatrix, seed: int) -> np.ndarray:
+    """Paper §7.1 right-hand side: uniform in [-1, 1], max-norm normalised."""
+    rng = np.random.default_rng(seed)
+    b = rng.uniform(-1.0, 1.0, a.n_rows)
+    max_norm = a.max_norm()
+    return b / max_norm if max_norm > 0 else b
+
+
+def _evaluate(
+    a: CSRMatrix,
+    b: np.ndarray,
+    setup: FSAISetup,
+    model: CostModel,
+    spmv_a_cost: KernelCost,
+    config: ExperimentConfig,
+) -> MethodRun:
+    result = pcg(
+        a, b,
+        preconditioner=setup.application,
+        rtol=config.rtol,
+        max_iterations=config.max_iterations,
+        record_history=False,
+    )
+    app_cost = model.fsai_application_cost(
+        setup.application.g_pattern, setup.application.gt_pattern
+    )
+    vector_seconds = (12 * 8 * a.n_rows) / model.machine.memory_bandwidth_bps
+    iter_seconds = spmv_a_cost.seconds + app_cost.seconds + vector_seconds
+    x_misses = app_cost.bytes_x_misses // model.machine.line_bytes
+    return MethodRun(
+        method=setup.method,
+        filter_value=setup.filter_value,
+        iterations=result.iterations,
+        converged=result.converged,
+        relative_residual=result.relative_residual,
+        setup_seconds=model.setup_seconds(setup),
+        solve_seconds=result.iterations * iter_seconds,
+        g_nnz=setup.final_pattern.nnz,
+        pct_nnz=setup.nnz_increase_pct,
+        x_misses_per_g_nnz=x_misses / setup.final_pattern.nnz,
+        gflops=app_cost.gflops(),
+    )
+
+
+def run_case(
+    case: MatrixCase,
+    config: ExperimentConfig,
+    *,
+    a: Optional[CSRMatrix] = None,
+) -> CaseResult:
+    """Run the full method × filter grid for one matrix.
+
+    ``a`` can be passed to reuse an already-built matrix (campaign code
+    shares it across machines).
+    """
+    a = a if a is not None else case.build()
+    b = make_rhs(a, config.rhs_seed + case.case_id)
+    machine = config.machine_model()
+    placement = ArrayPlacement.aligned(machine.line_bytes)
+    model = CostModel(
+        machine, cache_scale=config.cache_scale, placement=placement
+    )
+    spmv_a_cost = model.spmv_cost(a.pattern)
+
+    baseline_setup = setup_fsai(a)
+    baseline = _evaluate(a, b, baseline_setup, model, spmv_a_cost, config)
+
+    result = CaseResult(
+        case=case, n=a.n_rows, nnz=a.nnz, machine=machine.name, baseline=baseline
+    )
+    reference_full: Optional[FSAISetup] = None
+    for method in config.methods:
+        setup_fn = _SETUPS[method]
+        for filter_value in config.filters:
+            setup = setup_fn(
+                a, placement,
+                filter_value=filter_value,
+                precalc_rtol=config.precalc_rtol,
+                precalc_iterations=config.precalc_iterations,
+            )
+            if method == "fsaie_full" and filter_value == 0.01:
+                reference_full = setup
+            result.runs[(method, filter_value)] = _evaluate(
+                a, b, setup, model, spmv_a_cost, config
+            )
+
+    if config.include_random_baseline:
+        if reference_full is None:
+            reference_full = setup_fsaie_full(
+                a, placement, filter_value=0.01,
+                precalc_rtol=config.precalc_rtol,
+                precalc_iterations=config.precalc_iterations,
+            )
+        random_setup = setup_fsaie_random(a, reference_full, seed=case.case_id)
+        result.runs[("fsaie_random", 0.01)] = _evaluate(
+            a, b, random_setup, model, spmv_a_cost, config
+        )
+    return result

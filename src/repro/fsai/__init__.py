@@ -1,0 +1,74 @@
+"""FSAI preconditioner family — the paper's core contribution.
+
+Modules
+-------
+``patterns``
+    Initial sparse-pattern construction (threshold + pattern power + lower
+    triangle; paper Alg. 1 steps 1-2).
+``frobenius``
+    Per-row Frobenius-minimal computation of ``G`` (exact, batched LAPACK)
+    and the loose-tolerance approximate precalculation of §5.
+``fillin``
+    The cache-friendly fill-in algorithm (paper Alg. 3 / §4).
+``filtering``
+    Standard post-filtration (Alg. 1 step 4) and the proposed
+    precalculation-based filtration (§5).
+``random_ext``
+    Random pattern extension at matched entry counts (Figure 3/4 baseline).
+``precond``
+    Application object ``p ↦ G^T (G p)`` satisfying the solver protocol.
+``extended``
+    End-to-end setups: ``setup_fsai`` (baseline), ``setup_fsaie_sp``
+    (Alg. 4 w/o steps 5-6) and ``setup_fsaie_full`` (Alg. 4), plus the
+    single-step joint-extension ablation of §6.
+"""
+
+from repro.fsai.patterns import fsai_initial_pattern
+from repro.fsai.frobenius import compute_g, precalculate_g, setup_flops_direct
+from repro.fsai.fillin import extend_pattern_cache_friendly, extension_entries
+from repro.fsai.filtering import (
+    filter_extension_by_precalc,
+    standard_post_filter,
+)
+from repro.fsai.random_ext import extend_pattern_random
+from repro.fsai.precond import FSAIApplication
+from repro.fsai.extended import (
+    FSAISetup,
+    setup_fsai,
+    setup_fsaie_sp,
+    setup_fsaie_full,
+    setup_fsaie_joint,
+    setup_fsaie_random,
+)
+
+__all__ = [
+    "fsai_initial_pattern",
+    "compute_g",
+    "precalculate_g",
+    "setup_flops_direct",
+    "extend_pattern_cache_friendly",
+    "extension_entries",
+    "filter_extension_by_precalc",
+    "standard_post_filter",
+    "extend_pattern_random",
+    "FSAIApplication",
+    "FSAISetup",
+    "setup_fsai",
+    "setup_fsaie_sp",
+    "setup_fsaie_full",
+    "setup_fsaie_joint",
+    "setup_fsaie_random",
+]
+
+# Dynamic-pattern (FSPAI) comparator — §8 composability.
+from repro.fsai.adaptive import (  # noqa: E402
+    adaptive_pattern,
+    setup_fspai,
+    setup_fspai_cache_extended,
+)
+
+__all__ += [
+    "adaptive_pattern",
+    "setup_fspai",
+    "setup_fspai_cache_extended",
+]

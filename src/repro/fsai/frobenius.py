@@ -1,0 +1,165 @@
+"""Frobenius-minimal computation of ``G`` (paper §2.2) and its approximate
+precalculation (§5).
+
+For a lower-triangular pattern ``S`` with rows ``S_i ∋ i``, the minimiser of
+``‖I − G L‖_F`` over matrices with pattern ``S`` is obtained row-by-row
+(Kolotilina–Yeremin [28], Chow [11]) *without forming the Cholesky factor
+L*: solve
+
+    ``A[S_i, S_i] ĝ = e_i|_{S_i}``            (local SPD system)
+
+then normalise ``g_i = ĝ / sqrt(ĝ_i)`` so that ``G A G^T`` has unit
+diagonal.  ``ĝ_i = (A[S_i,S_i]^{-1})_{ii} > 0`` for SPD ``A``, so the
+normalisation is always defined.
+
+Two computation modes:
+
+* **direct** — batched dense Cholesky via LAPACK (exact; Alg. 1 step 3 and
+  Alg. 2 step 5);
+* **approximate** — truncated CG at loose tolerance (the §5 precalculation
+  used only to classify entry magnitudes before filtering).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.errors import NotSPDError, PatternError, ShapeError
+from repro.solvers.direct import solve_spd_batched
+from repro.solvers.local_cg import (
+    DEFAULT_PRECALC_ITERATIONS,
+    DEFAULT_PRECALC_RTOL,
+    solve_spd_approximate_batched,
+)
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.pattern import Pattern
+
+__all__ = [
+    "gather_local_systems",
+    "compute_g",
+    "precalculate_g",
+    "setup_flops_direct",
+    "setup_flops_precalc",
+]
+
+
+def _check_pattern(a: CSRMatrix, pattern: Pattern) -> None:
+    if a.n_rows != a.n_cols:
+        raise ShapeError("FSAI requires a square matrix")
+    if pattern.shape != a.shape:
+        raise ShapeError(
+            f"pattern shape {pattern.shape} does not match matrix {a.shape}"
+        )
+    if not pattern.is_lower_triangular():
+        raise PatternError("FSAI pattern must be lower triangular")
+
+
+def gather_local_systems(a: CSRMatrix, pattern: Pattern):
+    """Extract the dense local systems ``(A[S_i,S_i], e_i|_{S_i})`` per row.
+
+    Returns ``(systems, rhs)`` lists aligned with row order.  The diagonal
+    position is the *last* index of each sorted lower-triangular row, which
+    is where the unit right-hand side lives.
+    """
+    systems: List[np.ndarray] = []
+    rhs: List[FloatArray] = []
+    for i in range(pattern.n_rows):
+        cols = pattern.row(i)
+        if len(cols) == 0 or cols[-1] != i:
+            raise PatternError(f"row {i} of FSAI pattern must contain the diagonal")
+        local = a.submatrix(cols, cols)
+        e = np.zeros(len(cols))
+        e[-1] = 1.0
+        systems.append(local)
+        rhs.append(e)
+    return systems, rhs
+
+
+def _assemble_g(pattern: Pattern, solutions: List[FloatArray]) -> CSRMatrix:
+    """Normalise per-row solutions and assemble the CSR ``G``."""
+    data = np.empty(pattern.nnz)
+    for i, sol in enumerate(solutions):
+        lo, hi = pattern.indptr[i], pattern.indptr[i + 1]
+        pivot = sol[-1]
+        if pivot <= 0 or not np.isfinite(pivot):
+            raise NotSPDError(
+                f"row {i}: non-positive diagonal solution {pivot:.3e} "
+                "(matrix restriction not SPD)"
+            )
+        data[lo:hi] = sol / np.sqrt(pivot)
+    return CSRMatrix.from_pattern(pattern, data)
+
+
+def compute_g(a: CSRMatrix, pattern: Pattern) -> CSRMatrix:
+    """Exact Frobenius-minimal ``G`` on ``pattern`` (batched direct solves).
+
+    The result satisfies ``diag(G A G^T) = 1`` exactly (up to roundoff);
+    :mod:`tests.fsai` asserts this invariant.
+    """
+    _check_pattern(a, pattern)
+    systems, rhs = gather_local_systems(a, pattern)
+    solutions = solve_spd_batched(systems, rhs)
+    return _assemble_g(pattern, solutions)
+
+
+def precalculate_g(
+    a: CSRMatrix,
+    pattern: Pattern,
+    *,
+    rtol: float = DEFAULT_PRECALC_RTOL,
+    max_iterations: int = DEFAULT_PRECALC_ITERATIONS,
+) -> CSRMatrix:
+    """Approximate ``G`` via truncated CG on the local systems (§5).
+
+    Cheap by construction: the returned values are order-of-magnitude
+    estimates used exclusively by the filtering step.  Rows whose truncated
+    solve produces a non-positive diagonal estimate fall back to a Jacobi
+    guess (``1/sqrt(a_ii)`` on the diagonal, zeros elsewhere) — the filter
+    then simply keeps that row's extension decisions conservative rather
+    than aborting setup.
+    """
+    _check_pattern(a, pattern)
+    systems, rhs = gather_local_systems(a, pattern)
+    solutions = solve_spd_approximate_batched(
+        systems, rhs, rtol=rtol, max_iterations=max_iterations
+    )
+    diag = a.diagonal()
+    data = np.empty(pattern.nnz)
+    for i, sol in enumerate(solutions):
+        lo, hi = pattern.indptr[i], pattern.indptr[i + 1]
+        pivot = sol[-1]
+        if pivot <= 0 or not np.isfinite(pivot):
+            fallback = np.zeros(hi - lo)
+            fallback[-1] = 1.0 / np.sqrt(diag[i]) if diag[i] > 0 else 1.0
+            data[lo:hi] = fallback
+        else:
+            data[lo:hi] = sol / np.sqrt(pivot)
+    return CSRMatrix.from_pattern(pattern, data)
+
+
+def setup_flops_direct(pattern: Pattern) -> int:
+    """Flop estimate of the exact setup on ``pattern``.
+
+    Per row of size ``k``: Cholesky ``k³/3`` + two triangular solves ``2k²``
+    + gather/normalise ``O(k)``.  Feeds the §7.4 setup-overhead model.
+    """
+    k = pattern.row_lengths().astype(np.float64)
+    return int(np.sum(k**3 / 3.0 + 2.0 * k**2 + 4.0 * k))
+
+
+def setup_flops_precalc(
+    pattern: Pattern, iterations: int = DEFAULT_PRECALC_ITERATIONS
+) -> int:
+    """Flop estimate of the truncated-CG precalculation on ``pattern``.
+
+    Per row of size ``k``: ``min(iterations, k)`` CG steps (CG terminates in
+    at most ``k`` steps on a ``k×k`` system, and the batched solver masks
+    converged rows out), each a dense matvec ``2k²`` plus ``~8k`` of vector
+    work.
+    """
+    k = pattern.row_lengths().astype(np.float64)
+    steps = np.minimum(float(iterations), k)
+    return int(np.sum(steps * (2.0 * k**2 + 8.0 * k)))

@@ -1,0 +1,34 @@
+"""Performance model.
+
+Converts *counted* quantities (flops, simulated cache misses, streamed
+bytes) into modelled times on a target :class:`~repro.arch.MachineModel`.
+This is the substitution layer standing in for the paper's wall-clock
+measurements (DESIGN.md §2): iteration counts come from real PCG runs, the
+per-iteration cost comes from the roofline model here.
+"""
+
+from repro.perf.costmodel import (
+    CostModel,
+    KernelCost,
+    IterationCost,
+    scale_caches,
+)
+from repro.perf.metrics import (
+    gflops_of_application,
+    improvement_pct,
+    ImprovementStats,
+    summarize_improvements,
+)
+from repro.perf.timer import min_over_repetitions
+
+__all__ = [
+    "CostModel",
+    "KernelCost",
+    "IterationCost",
+    "scale_caches",
+    "gflops_of_application",
+    "improvement_pct",
+    "ImprovementStats",
+    "summarize_improvements",
+    "min_over_repetitions",
+]

@@ -1,0 +1,251 @@
+"""Roofline-style cost model for CG iterations and FSAI setup.
+
+Model
+-----
+For one SpMV ``y = M x`` with ``nnz`` stored entries and ``n`` rows:
+
+* flops:  ``2·nnz``;
+* streamed bytes: ``12·nnz`` (8 B value + 4 B int32 index, the layout of the
+  paper's C implementation) + ``12·n`` (y + indptr);
+* x-vector bytes: ``L1_misses(x) · line_bytes · RANDOM_ACCESS_PENALTY``.
+  Random-access line fills are latency-bound — no prefetch stream hides
+  them — so each such byte costs several times a streamed byte; the penalty
+  factor models the stream/random effective-bandwidth ratio of the target
+  systems (calibrated to 8x: pointer-chase vs STREAM effective bandwidth
+  differs by 5-10x on all three machines);
+* time = ``max(flop_time, memory_time)`` — the roofline.
+
+One PCG iteration = SpMV(A) + preconditioner application (two SpMVs for
+FSAI) + vector work (2 dots + 3 AXPYs + norm ≈ ``12·n`` streamed doubles).
+
+Setup time = setup flops at a dense-kernel efficiency fraction of machine
+peak + one streaming pass over the patterns per phase.  This mirrors §7.4's
+observation that setup is dominated by computing the (larger) ``G``.
+
+Cache scaling
+-------------
+The synthetic suite is ~50× smaller than SuiteSparse, so vectors that
+overflowed L1 in the paper fit comfortably here.  ``scale_caches`` shrinks
+every level by the same factor, restoring the paper's footprint/capacity
+ratios (the default campaign scale is 1/8).  Line size — the quantity the
+method depends on — is never scaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.arch.address import ArrayPlacement
+from repro.arch.machine import CacheLevelSpec, MachineModel
+from repro.cachesim.spmv_sim import simulate_fsai_application, simulate_spmv
+from repro.errors import ConfigurationError
+from repro.fsai.extended import FSAISetup
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.pattern import Pattern
+
+__all__ = ["KernelCost", "IterationCost", "CostModel", "scale_caches"]
+
+#: Fraction of machine peak the batched dense setup kernels sustain.
+SETUP_EFFICIENCY = 0.05
+
+#: Streamed bytes per stored entry of a CSR SpMV (8 B value + 4 B int32
+#: index — the storage layout of the paper's C implementation).
+STREAM_BYTES_PER_NNZ = 12
+
+#: Streamed bytes per row (8 B y + 4 B int32 indptr).
+STREAM_BYTES_PER_ROW = 12
+
+#: Effective-bandwidth ratio of prefetched streams vs latency-bound random
+#: line fills; multiplies x-miss bytes in the roofline denominator.
+RANDOM_ACCESS_PENALTY = 8.0
+
+
+def scale_caches(machine: MachineModel, factor: float) -> MachineModel:
+    """Shrink every cache level's capacity by ``factor`` (line size kept).
+
+    Used to restore paper-scale footprint/capacity ratios for the scaled
+    synthetic suite; ``factor = 1`` returns the machine unchanged.
+    """
+    if factor <= 0 or factor > 1:
+        raise ConfigurationError(f"cache scale factor must be in (0, 1], got {factor}")
+    if factor == 1.0:
+        return machine
+    levels = []
+    for lvl in machine.cache_levels:
+        quantum = lvl.line_bytes * lvl.associativity
+        new_size = max(int(lvl.size_bytes * factor) // quantum, 1) * quantum
+        levels.append(replace(lvl, size_bytes=new_size))
+    return replace(machine, cache_levels=tuple(levels))
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Modelled cost of one kernel invocation."""
+
+    flops: int
+    bytes_streamed: int
+    bytes_x_misses: int
+    seconds: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_streamed + self.bytes_x_misses
+
+    def gflops(self) -> float:
+        """Achieved Gflop/s under the model."""
+        return self.flops / self.seconds / 1e9 if self.seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class IterationCost:
+    """Modelled cost of one PCG iteration."""
+
+    spmv_a: KernelCost
+    precond: KernelCost
+    vector_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.spmv_a.seconds + self.precond.seconds + self.vector_seconds
+
+
+class CostModel:
+    """Roofline cost model bound to one machine (optionally cache-scaled).
+
+    Parameters
+    ----------
+    machine:
+        Target machine model.
+    cache_scale:
+        Factor applied to cache capacities for the simulation (see module
+        docstring).  The *reported* machine name stays the original.
+    placement:
+        Placement of the multiplied vectors; defaults to line-aligned.
+    include_streams:
+        Forwarded to the trace generator (stream pollution on).
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        *,
+        cache_scale: float = 1.0,
+        placement: Optional[ArrayPlacement] = None,
+        include_streams: bool = True,
+        random_access_penalty: Optional[float] = None,
+    ) -> None:
+        self.machine = machine
+        self.sim_machine = scale_caches(machine, cache_scale)
+        self.cache_scale = cache_scale
+        self.placement = placement or ArrayPlacement.aligned(machine.line_bytes)
+        self.include_streams = include_streams
+        # Resolved at construction time so a scoped override of the module
+        # attribute (see experiments.sensitivity) is honoured.
+        self.random_access_penalty = (
+            RANDOM_ACCESS_PENALTY if random_access_penalty is None
+            else random_access_penalty
+        )
+
+    # ------------------------------------------------------------------
+    # Kernel-level costs
+    # ------------------------------------------------------------------
+    def _roofline_seconds(self, flops: int, streamed_bytes: int, x_bytes: int) -> float:
+        t_flop = flops / self.machine.spmv_flops
+        effective_bytes = streamed_bytes + self.random_access_penalty * x_bytes
+        t_mem = effective_bytes / self.machine.memory_bandwidth_bps
+        return max(t_flop, t_mem)
+
+    def spmv_cost(self, pattern: Pattern, *, x_misses: Optional[int] = None) -> KernelCost:
+        """Cost of one SpMV over ``pattern``; misses simulated if not given."""
+        if x_misses is None:
+            sim = simulate_spmv(
+                pattern, self.sim_machine,
+                placement=self.placement,
+                include_streams=self.include_streams,
+            )
+            x_misses = sim.x_misses
+        flops = 2 * pattern.nnz
+        streamed = (
+            STREAM_BYTES_PER_NNZ * pattern.nnz
+            + STREAM_BYTES_PER_ROW * pattern.n_rows
+        )
+        x_bytes = x_misses * self.machine.line_bytes
+        return KernelCost(
+            flops=flops,
+            bytes_streamed=streamed,
+            bytes_x_misses=x_bytes,
+            seconds=self._roofline_seconds(flops, streamed, x_bytes),
+        )
+
+    def fsai_application_cost(
+        self, g_pattern: Pattern, gt_pattern: Optional[Pattern] = None
+    ) -> KernelCost:
+        """Cost of ``q = G p; z = G^T q`` with simulated x-vector misses."""
+        gt = gt_pattern if gt_pattern is not None else g_pattern.transpose()
+        sim = simulate_fsai_application(
+            g_pattern, self.sim_machine,
+            gt_pattern=gt,
+            placement=self.placement,
+            include_streams=self.include_streams,
+        )
+        nnz = g_pattern.nnz + gt.nnz
+        flops = 2 * nnz
+        streamed = (
+            STREAM_BYTES_PER_NNZ * nnz
+            + STREAM_BYTES_PER_ROW * (g_pattern.n_rows + gt.n_rows)
+        )
+        x_bytes = sim.x_misses * self.machine.line_bytes
+        return KernelCost(
+            flops=flops,
+            bytes_streamed=streamed,
+            bytes_x_misses=x_bytes,
+            seconds=self._roofline_seconds(flops, streamed, x_bytes),
+        )
+
+    # ------------------------------------------------------------------
+    # Solver-level costs
+    # ------------------------------------------------------------------
+    def iteration_cost(
+        self, a: CSRMatrix, setup: Optional[FSAISetup]
+    ) -> IterationCost:
+        """Cost of one PCG iteration with the given preconditioner setup.
+
+        ``setup = None`` models plain CG (no preconditioner term).
+        """
+        spmv_a = self.spmv_cost(a.pattern)
+        if setup is not None:
+            precond = self.fsai_application_cost(
+                setup.application.g_pattern, setup.application.gt_pattern
+            )
+        else:
+            precond = KernelCost(0, 0, 0, 0.0)
+        # 2 dots + 3 AXPYs + norm: ~12 streamed doubles per row.
+        vector_seconds = (12 * 8 * a.n_rows) / self.machine.memory_bandwidth_bps
+        return IterationCost(
+            spmv_a=spmv_a, precond=precond, vector_seconds=vector_seconds
+        )
+
+    def solve_seconds(
+        self, a: CSRMatrix, setup: Optional[FSAISetup], iterations: int
+    ) -> float:
+        """Modelled solve-phase time: iterations × per-iteration cost."""
+        return iterations * self.iteration_cost(a, setup).seconds
+
+    def setup_seconds(self, setup: FSAISetup) -> float:
+        """Modelled setup-phase time (dense kernels + pattern passes)."""
+        flop_rate = SETUP_EFFICIENCY * self.machine.peak_flops
+        t_flops = setup.setup_flops / flop_rate
+        # One streaming pass over the final pattern per phase.
+        pattern_bytes = (
+            len(setup.flops)
+            * STREAM_BYTES_PER_NNZ
+            * setup.final_pattern.nnz
+        )
+        return t_flops + pattern_bytes / self.machine.memory_bandwidth_bps
+
+    def __repr__(self) -> str:
+        return (
+            f"CostModel({self.machine.name}, cache_scale={self.cache_scale}, "
+            f"line={self.machine.line_bytes}B)"
+        )

@@ -1,0 +1,79 @@
+"""Performance metrics and improvement statistics (paper Tables 2/4/5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.perf.costmodel import KernelCost
+
+__all__ = [
+    "gflops_of_application",
+    "improvement_pct",
+    "ImprovementStats",
+    "summarize_improvements",
+]
+
+
+def gflops_of_application(cost: KernelCost) -> float:
+    """Figure 4 metric: achieved Gflop/s of the ``G^T G p`` operation."""
+    return cost.gflops()
+
+
+def improvement_pct(baseline: float, candidate: float) -> float:
+    """Time/iteration decrease of ``candidate`` vs ``baseline`` in percent.
+
+    Positive = candidate is better (smaller).  This is the paper's
+    "time decrease percentage" (Figures 2/5/6, Tables 2/4/5); negative
+    values are degradations.
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 100.0 * (baseline - candidate) / baseline
+
+
+@dataclass(frozen=True)
+class ImprovementStats:
+    """Summary of per-matrix improvements — one row of Tables 2/4/5.
+
+    Attributes mirror the paper's columns: average iteration improvement,
+    average time improvement, highest time improvement and highest time
+    degradation (the most negative improvement; 0 when nothing degraded).
+    """
+
+    avg_iterations: float
+    avg_time: float
+    highest_improvement: float
+    highest_degradation: float
+    median_time: float
+    count: int
+
+    def row(self) -> tuple:
+        return (
+            self.avg_iterations,
+            self.avg_time,
+            self.highest_improvement,
+            self.highest_degradation,
+        )
+
+
+def summarize_improvements(
+    iteration_improvements: Sequence[float],
+    time_improvements: Sequence[float],
+) -> ImprovementStats:
+    """Aggregate per-matrix improvement percentages into a table row."""
+    it = np.asarray(list(iteration_improvements), dtype=np.float64)
+    tm = np.asarray(list(time_improvements), dtype=np.float64)
+    if len(it) != len(tm) or len(it) == 0:
+        raise ValueError("need equal, non-empty improvement sequences")
+    worst = float(tm.min())
+    return ImprovementStats(
+        avg_iterations=float(it.mean()),
+        avg_time=float(tm.mean()),
+        highest_improvement=float(tm.max()),
+        highest_degradation=min(worst, 0.0),
+        median_time=float(np.median(tm)),
+        count=len(tm),
+    )

@@ -1,0 +1,58 @@
+"""Iterative and direct solvers.
+
+* :func:`~repro.solvers.cg.cg` / :func:`~repro.solvers.cg.pcg` — the paper's
+  Conjugate Gradient solver (§2.1), instrumented with residual history and
+  flop counts.
+* :mod:`~repro.solvers.direct` — dense Cholesky factorisation and SPD solves
+  for the FSAI local systems (the role MKL / LAPACK / OpenBLAS play in the
+  paper's §7.1); includes batched solves grouping equal-size systems.
+* :mod:`~repro.solvers.local_cg` — small-system CG used by the §5
+  precalculation (approximate ``G`` at loose tolerance).
+* :mod:`~repro.solvers.preconditioners` — trivial baselines (identity,
+  Jacobi) against which FSAI is sanity-checked.
+"""
+
+from repro.solvers.convergence import ConvergenceHistory, SolveResult
+from repro.solvers.cg import cg, pcg
+from repro.solvers.direct import (
+    cholesky_factor,
+    solve_lower_triangular,
+    solve_upper_triangular,
+    solve_spd,
+    solve_spd_batched,
+)
+from repro.solvers.local_cg import solve_spd_approximate
+from repro.solvers.sptrsv import (
+    level_schedule_stats,
+    level_sets,
+    sparse_backward_substitution,
+    sparse_forward_substitution,
+)
+from repro.solvers.ichol import IncompleteCholeskyPreconditioner, ichol0
+from repro.solvers.preconditioners import (
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+)
+
+__all__ = [
+    "ConvergenceHistory",
+    "SolveResult",
+    "cg",
+    "pcg",
+    "cholesky_factor",
+    "solve_lower_triangular",
+    "solve_upper_triangular",
+    "solve_spd",
+    "solve_spd_batched",
+    "solve_spd_approximate",
+    "sparse_forward_substitution",
+    "sparse_backward_substitution",
+    "level_sets",
+    "level_schedule_stats",
+    "ichol0",
+    "IncompleteCholeskyPreconditioner",
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+]

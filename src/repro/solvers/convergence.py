@@ -1,0 +1,92 @@
+"""Convergence tracking for iterative solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro._typing import FloatArray
+
+__all__ = ["ConvergenceHistory", "SolveResult"]
+
+
+@dataclass
+class ConvergenceHistory:
+    """Residual-norm history of one iterative solve.
+
+    ``norms[k]`` is ``‖r_k‖₂`` *before* iteration ``k`` (``norms[0]`` is the
+    initial residual), so a solve that converges in ``m`` iterations records
+    ``m + 1`` entries.
+    """
+
+    norms: List[float] = field(default_factory=list)
+
+    def record(self, norm: float) -> None:
+        self.norms.append(float(norm))
+
+    @property
+    def initial(self) -> float:
+        return self.norms[0] if self.norms else float("nan")
+
+    @property
+    def final(self) -> float:
+        return self.norms[-1] if self.norms else float("nan")
+
+    @property
+    def iterations(self) -> int:
+        """Iterations performed (history length minus the initial record)."""
+        return max(len(self.norms) - 1, 0)
+
+    def relative(self) -> FloatArray:
+        """History normalised by the initial residual."""
+        arr = np.asarray(self.norms)
+        return arr / arr[0] if len(arr) and arr[0] > 0 else arr
+
+    def reduction_order(self) -> float:
+        """Orders of magnitude of residual reduction achieved."""
+        if len(self.norms) < 2 or self.initial == 0:
+            return 0.0
+        if self.final == 0:
+            return float("inf")
+        return float(np.log10(self.initial / self.final))
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a CG / PCG solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    converged:
+        True iff the relative-residual tolerance was met within the budget.
+    iterations:
+        CG iterations performed.
+    residual_norm:
+        Final ``‖r‖₂``.
+    relative_residual:
+        ``‖r‖₂ / ‖r₀‖₂`` (0 when ``r₀ = 0``).
+    history:
+        Full residual trace (omitted when ``record_history=False``).
+    flops:
+        Estimated floating-point operations executed by the solve (SpMV,
+        preconditioner application, dots, AXPYs).
+    """
+
+    x: FloatArray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    relative_residual: float
+    history: Optional[ConvergenceHistory] = None
+    flops: int = 0
+
+    def __repr__(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"SolveResult({status} in {self.iterations} iters, "
+            f"rel_res={self.relative_residual:.3e})"
+        )

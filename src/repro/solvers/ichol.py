@@ -1,0 +1,142 @@
+"""Zero-fill incomplete Cholesky — IC(0) — comparator preconditioner.
+
+The implicit-preconditioner counterpoint to FSAI (paper §1): IC(0) computes
+a lower-triangular ``L`` with the sparsity of ``tril(A)`` such that
+``L L^T ≈ A``, and applies ``z = (L L^T)^{-1} r`` via two sparse triangular
+solves.  Numerically IC(0) is usually at least as strong as same-pattern
+FSAI; *architecturally* it loses on parallel machines because the solves
+serialise (see :mod:`repro.solvers.sptrsv` and
+``benchmarks/bench_implicit_vs_fsai.py``).
+
+Breakdown handling: plain IC(0) can hit non-positive pivots on matrices
+that are SPD but far from diagonally dominant.  The standard shifted
+restart is implemented: on breakdown, retry on ``A + α·diag(A)`` with
+geometrically growing ``α`` (Manteuffel shift).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.errors import NotSPDError, ShapeError
+from repro.solvers.sptrsv import (
+    level_schedule_stats,
+    sparse_backward_substitution,
+    sparse_forward_substitution,
+)
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ichol0", "IncompleteCholeskyPreconditioner"]
+
+
+def ichol0(a: CSRMatrix, *, shift: float = 0.0) -> CSRMatrix:
+    """IC(0) factor ``L`` on the lower-triangular pattern of ``A``.
+
+    Row-oriented up-looking factorisation restricted to the pattern:
+    for each stored lower entry ``(i, j)``::
+
+        l_ij = (a_ij - sum_k l_ik l_jk) / l_jj        (k in both patterns)
+        l_ii = sqrt(a_ii - sum_k l_ik^2)
+
+    Raises :class:`NotSPDError` on a non-positive pivot (use ``shift`` or
+    :class:`IncompleteCholeskyPreconditioner` for the auto-shifted variant).
+    """
+    if a.n_rows != a.n_cols:
+        raise ShapeError("ichol0 requires a square matrix")
+    lower = a.tril()
+    if shift != 0.0:
+        data = lower.data.copy()
+        diag_mask = lower.row_ids() == lower.indices
+        data[diag_mask] *= 1.0 + shift
+        lower = lower.with_data(data)
+
+    n = a.n_rows
+    indptr, indices = lower.indptr, lower.indices
+    values = lower.data.copy()
+    # Row slices as python ints for the hot loop.
+    for i in range(n):
+        lo, hi = int(indptr[i]), int(indptr[i + 1])
+        if hi == lo or indices[hi - 1] != i:
+            raise NotSPDError(f"row {i}: diagonal missing from the IC(0) pattern")
+        row_cols = indices[lo:hi]
+        for idx in range(lo, hi):
+            j = int(indices[idx])
+            jlo, jhi = int(indptr[j]), int(indptr[j + 1])
+            # Dot product of the already-computed prefixes of rows i and j
+            # over their common column support (both sorted): two-pointer
+            # merge via searchsorted on the shorter side.
+            ci = indices[lo:idx]                 # columns < j in row i
+            cj = indices[jlo: jhi - 1]           # columns < j in row j
+            if len(ci) and len(cj):
+                pos = np.searchsorted(cj, ci)
+                ok = (pos < len(cj)) & (cj[np.minimum(pos, len(cj) - 1)] == ci)
+                s = float(
+                    np.dot(values[lo:idx][ok], values[jlo: jhi - 1][pos[ok]])
+                )
+            else:
+                s = 0.0
+            if j < i:
+                djj = values[jhi - 1]
+                values[idx] = (values[idx] - s) / djj
+            else:  # diagonal
+                pivot = values[idx] - s
+                if pivot <= 0.0 or not np.isfinite(pivot):
+                    raise NotSPDError(
+                        f"IC(0) breakdown at row {i}: pivot {pivot:.3e}"
+                    )
+                values[idx] = np.sqrt(pivot)
+    return lower.with_data(values)
+
+
+class IncompleteCholeskyPreconditioner:
+    """IC(0) preconditioner with Manteuffel-shift breakdown recovery.
+
+    Satisfies the solver protocol (``apply`` / ``flops_per_application``).
+    """
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        *,
+        initial_shift: float = 0.0,
+        max_shift_attempts: int = 10,
+    ) -> None:
+        shift = initial_shift
+        last_error: Optional[Exception] = None
+        for _ in range(max_shift_attempts):
+            try:
+                self.factor = ichol0(a, shift=shift)
+                self.shift = shift
+                break
+            except NotSPDError as exc:
+                last_error = exc
+                shift = max(10 * shift, 1e-3)
+        else:
+            raise NotSPDError(
+                f"IC(0) failed even with shift {shift:g}: {last_error}"
+            )
+        self.n = a.n_rows
+
+    def apply(self, r: FloatArray) -> FloatArray:
+        """``z = (L L^T)^{-1} r`` — forward then backward solve."""
+        if r.shape != (self.n,):
+            raise ShapeError(f"expected vector of length {self.n}")
+        y = sparse_forward_substitution(self.factor, r)
+        return sparse_backward_substitution(self.factor, y)
+
+    def flops_per_application(self) -> int:
+        """2 flops per stored entry per solve, two solves."""
+        return 4 * self.factor.nnz
+
+    def parallel_levels(self) -> Tuple[int, float]:
+        """(levels, avg rows/level) of the solve's dependency graph."""
+        return level_schedule_stats(self.factor.pattern)
+
+    def __repr__(self) -> str:
+        return (
+            f"IncompleteCholeskyPreconditioner(n={self.n}, "
+            f"nnz(L)={self.factor.nnz}, shift={self.shift:g})"
+        )

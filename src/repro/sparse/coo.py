@@ -1,0 +1,97 @@
+"""Coordinate-format sparse matrix.
+
+COO is the assembly format: generators emit (row, col, value) triplets, the
+triplets are summed on duplicates, and the result is converted to CSR for
+computation.  The class is deliberately small — the heavy lifting happens in
+:class:`repro.sparse.csr.CSRMatrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro._typing import FloatArray, IndexArray, as_index_array, as_value_array
+from repro.errors import PatternError, ShapeError
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """Sparse matrix in coordinate (triplet) format.
+
+    Duplicated coordinates are allowed and are **summed** when converting to
+    CSR (standard FE-assembly semantics).
+    """
+
+    __slots__ = ("n_rows", "n_cols", "row", "col", "data")
+
+    def __init__(self, n_rows: int, n_cols: int, row, col, data) -> None:
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.row: IndexArray = as_index_array(row)
+        self.col: IndexArray = as_index_array(col)
+        self.data: FloatArray = as_value_array(data)
+        if not (len(self.row) == len(self.col) == len(self.data)):
+            raise ShapeError(
+                f"triplet arrays disagree in length: "
+                f"{len(self.row)}/{len(self.col)}/{len(self.data)}"
+            )
+        if len(self.row):
+            if self.row.min() < 0 or self.row.max() >= self.n_rows:
+                raise PatternError("row index out of range")
+            if self.col.min() < 0 or self.col.max() >= self.n_cols:
+                raise PatternError("col index out of range")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (before duplicate summation)."""
+        return len(self.data)
+
+    def canonical(self) -> "COOMatrix":
+        """Return a copy with duplicates summed and entries row-major sorted.
+
+        Explicit zeros are preserved (they are structural entries).
+        """
+        if not len(self.row):
+            return COOMatrix(self.n_rows, self.n_cols, self.row, self.col, self.data)
+        order = np.lexsort((self.col, self.row))
+        r, c, v = self.row[order], self.col[order], self.data[order]
+        new_group = np.ones(len(r), dtype=bool)
+        new_group[1:] = (np.diff(r) != 0) | (np.diff(c) != 0)
+        group_ids = np.cumsum(new_group) - 1
+        n_groups = int(group_ids[-1]) + 1
+        summed = np.bincount(group_ids, weights=v, minlength=n_groups)
+        starts = np.flatnonzero(new_group)
+        return COOMatrix(self.n_rows, self.n_cols, r[starts], c[starts], summed)
+
+    def to_csr(self):
+        """Convert to :class:`~repro.sparse.csr.CSRMatrix` (duplicates summed)."""
+        from repro.sparse.csr import CSRMatrix
+
+        canon = self.canonical()
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(canon.row, minlength=self.n_rows), out=indptr[1:]
+        )
+        return CSRMatrix(
+            self.n_rows, self.n_cols, indptr, canon.col, canon.data,
+            _validated=True,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Dense array with duplicates summed (small matrices / testing)."""
+        dense = np.zeros(self.shape)
+        np.add.at(dense, (self.row, self.col), self.data)
+        return dense
+
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix(self.n_cols, self.n_rows, self.col, self.row, self.data)
+
+    def __repr__(self) -> str:
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,124 @@
+"""Compressed Sparse Column matrix.
+
+The paper's discussion (§4) notes that traversing ``A`` in column order with
+CSC swaps the roles of ``x`` and ``y`` in the cache analysis; we provide CSC
+for completeness and for column-oriented access in the cache simulator.
+Internally a CSC matrix stores the CSR structure of its transpose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._typing import FloatArray, IndexArray, as_index_array, as_value_array
+from repro.errors import ShapeError
+from repro.sparse.pattern import Pattern, _validate_structure
+
+__all__ = ["CSCMatrix"]
+
+
+class CSCMatrix:
+    """Sparse matrix in Compressed Sparse Column format.
+
+    ``indptr``/``indices`` compress *columns*: ``indices[indptr[j]:indptr[j+1]]``
+    are the row indices of column ``j``, sorted and unique.
+    """
+
+    __slots__ = ("n_rows", "n_cols", "indptr", "indices", "data", "_col_ids")
+
+    def __init__(
+        self, n_rows: int, n_cols: int, indptr, indices, data, *,
+        _validated: bool = False,
+    ) -> None:
+        self.indptr: IndexArray = as_index_array(indptr)
+        self.indices: IndexArray = as_index_array(indices)
+        self.data: FloatArray = as_value_array(data)
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        if not _validated:
+            # Structure is the CSR structure of the transpose.
+            _validate_structure(self.n_cols, self.n_rows, self.indptr, self.indices)
+        if len(self.data) != len(self.indices):
+            raise ShapeError("data/indices length mismatch")
+        self._col_ids = None
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def pattern(self) -> Pattern:
+        """Pattern of the matrix itself (row-major), not of its transpose."""
+        return self.to_csr().pattern
+
+    def col_ids(self) -> IndexArray:
+        """Column id of every stored entry."""
+        if self._col_ids is None:
+            self._col_ids = np.repeat(
+                np.arange(self.n_cols, dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._col_ids
+
+    def col(self, j: int) -> Tuple[IndexArray, FloatArray]:
+        """``(rows, values)`` of column ``j`` (views)."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def matvec(self, x: FloatArray, out: Optional[FloatArray] = None) -> FloatArray:
+        """``y = A @ x`` via column-order scatter (gathers x sequentially)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ShapeError(f"x has shape {x.shape}, expected ({self.n_cols},)")
+        prod = self.data * x[self.col_ids()]
+        y = np.bincount(self.indices, weights=prod, minlength=self.n_rows)
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def rmatvec(self, x: FloatArray, out: Optional[FloatArray] = None) -> FloatArray:
+        """``y = A.T @ x`` via per-column gather."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_rows,):
+            raise ShapeError(f"x has shape {x.shape}, expected ({self.n_rows},)")
+        prod = self.data * x[self.indices]
+        y = np.bincount(self.col_ids(), weights=prod, minlength=self.n_cols)
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def __matmul__(self, x):
+        return self.matvec(x)
+
+    def to_csr(self):
+        """Convert to :class:`~repro.sparse.csr.CSRMatrix`."""
+        from repro.sparse.csr import CSRMatrix
+
+        # CSC(A) stores CSR(A^T): transpose that structure back.
+        helper = CSRMatrix(
+            self.n_cols, self.n_rows, self.indptr, self.indices, self.data,
+            _validated=True,
+        )
+        return helper.transpose()
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        dense[self.indices, self.col_ids()] = self.data
+        return dense
+
+    def transpose(self) -> "CSCMatrix":
+        return self.to_csr().transpose().to_csc()
+
+    @property
+    def T(self) -> "CSCMatrix":
+        return self.transpose()
+
+    def __repr__(self) -> str:
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

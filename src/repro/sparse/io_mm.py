@@ -1,0 +1,139 @@
+"""Matrix Market I/O.
+
+The paper's experimental set comes from the SuiteSparse collection, which is
+distributed in Matrix Market format.  This reader/writer supports the subset
+used by SPD problems: ``matrix coordinate real {general|symmetric}`` and
+``matrix coordinate pattern {general|symmetric}`` (pattern files get unit
+values).  Symmetric files store the lower triangle; reading mirrors it.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+def _open_maybe(path_or_file: Union[str, Path, TextIO], mode: str):
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode), True
+
+
+def read_matrix_market(source: Union[str, Path, TextIO]) -> CSRMatrix:
+    """Read a Matrix Market coordinate file into a CSR matrix.
+
+    Supports ``real``/``integer``/``pattern`` fields and ``general``/
+    ``symmetric`` symmetries.  Symmetric storage is expanded to full storage
+    (off-diagonal entries mirrored).
+    """
+    fh, should_close = _open_maybe(source, "r")
+    try:
+        header = fh.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise MatrixFormatError(f"not a MatrixMarket file: {header[:60]!r}")
+        tokens = header.strip().split()
+        if len(tokens) < 5:
+            raise MatrixFormatError(f"malformed header: {header!r}")
+        _, obj, fmt, field, symmetry = (t.lower() for t in tokens[:5])
+        if obj != "matrix" or fmt != "coordinate":
+            raise MatrixFormatError(
+                f"only 'matrix coordinate' supported, got {obj!r} {fmt!r}"
+            )
+        if field not in ("real", "integer", "pattern"):
+            raise MatrixFormatError(f"unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise MatrixFormatError(f"unsupported symmetry {symmetry!r}")
+
+        # Skip comments, read the size line.
+        line = fh.readline()
+        while line and line.lstrip().startswith("%"):
+            line = fh.readline()
+        if not line:
+            raise MatrixFormatError("missing size line")
+        parts = line.split()
+        if len(parts) != 3:
+            raise MatrixFormatError(f"malformed size line: {line!r}")
+        n_rows, n_cols, nnz = (int(p) for p in parts)
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        k = 0
+        for line in fh:
+            s = line.strip()
+            if not s or s.startswith("%"):
+                continue
+            if k >= nnz:
+                raise MatrixFormatError("more entries than declared")
+            toks = s.split()
+            rows[k] = int(toks[0]) - 1
+            cols[k] = int(toks[1]) - 1
+            if field != "pattern":
+                if len(toks) < 3:
+                    raise MatrixFormatError(f"missing value on line {line!r}")
+                vals[k] = float(toks[2])
+            k += 1
+        if k != nnz:
+            raise MatrixFormatError(f"declared {nnz} entries, found {k}")
+
+        if symmetry == "symmetric":
+            r, c, v = rows[:k], cols[:k], vals[:k]
+            off = r != c
+            rows = np.concatenate([r, c[off]])
+            cols = np.concatenate([c, r[off]])
+            vals = np.concatenate([v, v[off]])
+        return COOMatrix(n_rows, n_cols, rows, cols, vals).to_csr()
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_matrix_market(
+    matrix: CSRMatrix,
+    target: Union[str, Path, TextIO],
+    *,
+    symmetric: bool = False,
+    comment: str = "",
+) -> None:
+    """Write a CSR matrix as ``matrix coordinate real`` Matrix Market text.
+
+    With ``symmetric=True``, only the lower triangle is emitted and the header
+    declares ``symmetric`` (the reader mirrors it back).
+    """
+    out = matrix.tril() if symmetric else matrix
+    symmetry = "symmetric" if symmetric else "general"
+    fh, should_close = _open_maybe(target, "w")
+    try:
+        fh.write(f"%%MatrixMarket matrix coordinate real {symmetry}\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{matrix.n_rows} {matrix.n_cols} {out.nnz}\n")
+        rows = out.row_ids()
+        buf: List[str] = []
+        for r, c, v in zip(rows, out.indices, out.data):
+            buf.append(f"{r + 1} {c + 1} {v:.17g}\n")
+            if len(buf) >= 4096:
+                fh.write("".join(buf))
+                buf.clear()
+        fh.write("".join(buf))
+    finally:
+        if should_close:
+            fh.close()
+
+
+def matrix_market_string(matrix: CSRMatrix, **kwargs) -> str:
+    """Render a matrix to Matrix Market text in memory."""
+    buf = io.StringIO()
+    write_matrix_market(matrix, buf, **kwargs)
+    return buf.getvalue()

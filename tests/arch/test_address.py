@@ -1,0 +1,113 @@
+"""Unit tests for repro.arch.address (the §4.1 virtual-address model)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.address import ArrayPlacement
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_aligned(self):
+        p = ArrayPlacement.aligned(64)
+        assert p.element_offset == 0
+        assert p.elements_per_line == 8
+
+    def test_with_element_offset(self):
+        p = ArrayPlacement.with_element_offset(64, 3)
+        assert p.element_offset == 3
+
+    def test_offset_wraps(self):
+        assert ArrayPlacement.with_element_offset(64, 11).element_offset == 3
+
+    def test_for_numpy_reads_real_address(self):
+        arr = np.zeros(16)
+        p = ArrayPlacement.for_numpy(arr, 64)
+        addr = arr.__array_interface__["data"][0]
+        assert p.base_address == addr
+        assert p.element_offset == (addr % 64) // 8
+
+    def test_for_numpy_rejects_non_double(self):
+        with pytest.raises(ConfigurationError):
+            ArrayPlacement.for_numpy(np.zeros(4, dtype=np.float32), 64)
+
+    def test_line_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            ArrayPlacement(line_bytes=96)
+
+    def test_base_must_be_element_aligned(self):
+        with pytest.raises(ConfigurationError):
+            ArrayPlacement(line_bytes=64, base_address=4)
+
+
+class TestMapping:
+    def test_line_of_aligned(self):
+        p = ArrayPlacement.aligned(64)
+        assert p.line_of(0) == 0
+        assert p.line_of(7) == 0
+        assert p.line_of(8) == 1
+
+    def test_line_of_vectorised(self):
+        p = ArrayPlacement.aligned(64)
+        assert list(p.line_of(np.array([0, 8, 16]))) == [0, 1, 2]
+
+    def test_slot_of_paper_modulo(self):
+        # §4.1: address_virtual(x[i]) mod 8 for 64-byte lines.
+        p = ArrayPlacement.aligned(64)
+        for i in range(32):
+            assert p.slot_of(i) == i % 8
+
+    def test_misaligned_shifts_boundaries(self):
+        p = ArrayPlacement.with_element_offset(64, 3)
+        # Elements 0..4 complete the first line (slots 3..7).
+        assert p.line_of(4) == 0
+        assert p.line_of(5) == 1
+
+    def test_256B_line_modulo_32(self):
+        # §4.1: A64FX — address mod 32.
+        p = ArrayPlacement.aligned(256)
+        assert p.elements_per_line == 32
+        assert p.line_of(31) == 0
+        assert p.line_of(32) == 1
+
+
+class TestLineSpan:
+    def test_aligned_span(self):
+        p = ArrayPlacement.aligned(64)
+        assert p.line_span(0, 100) == (0, 7)
+        assert p.line_span(10, 100) == (8, 15)
+
+    def test_span_clipped_at_end(self):
+        p = ArrayPlacement.aligned(64)
+        assert p.line_span(98, 100) == (96, 99)
+
+    def test_span_clipped_at_start_when_misaligned(self):
+        p = ArrayPlacement.with_element_offset(64, 3)
+        assert p.line_span(2, 100) == (0, 4)
+
+    def test_span_contains_query(self):
+        for off in range(8):
+            p = ArrayPlacement.with_element_offset(64, off)
+            for i in range(0, 40):
+                lo, hi = p.line_span(i, 40)
+                assert lo <= i <= hi
+                # All members share i's line.
+                assert p.line_of(lo) == p.line_of(i) == p.line_of(hi)
+
+    def test_span_out_of_range(self):
+        with pytest.raises(IndexError):
+            ArrayPlacement.aligned(64).line_span(100, 100)
+
+    def test_address_of(self):
+        p = ArrayPlacement(line_bytes=64, base_address=128)
+        assert p.address_of(0) == 128
+        assert p.address_of(2) == 144
+
+    def test_lines_used(self):
+        p = ArrayPlacement.aligned(64)
+        assert p.lines_used(8) == 1
+        assert p.lines_used(9) == 2
+        assert p.lines_used(0) == 0
+        # Misaligned vector of 8 elements straddles two lines.
+        q = ArrayPlacement.with_element_offset(64, 3)
+        assert q.lines_used(8) == 2

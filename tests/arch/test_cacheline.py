@@ -1,0 +1,54 @@
+"""Unit tests for repro.arch.cacheline."""
+
+import numpy as np
+import pytest
+
+from repro.arch.address import ArrayPlacement
+from repro.arch.cacheline import (
+    distinct_lines_count,
+    group_by_line,
+    line_of_index,
+    line_span,
+    lines_touched,
+)
+
+
+@pytest.fixture
+def p64():
+    return ArrayPlacement.aligned(64)
+
+
+class TestLineHelpers:
+    def test_line_of_index(self, p64):
+        assert list(line_of_index([0, 7, 8, 63], p64)) == [0, 0, 1, 7]
+
+    def test_lines_touched_sorted_unique(self, p64):
+        out = lines_touched([17, 1, 9, 2], p64)
+        assert list(out) == [0, 1, 2]
+
+    def test_distinct_lines_count(self, p64):
+        assert distinct_lines_count([0, 1, 2], p64) == 1
+        assert distinct_lines_count([0, 8, 16], p64) == 3
+        assert distinct_lines_count([], p64) == 0
+
+    def test_line_span_delegates(self, p64):
+        assert line_span(9, 100, p64) == p64.line_span(9, 100)
+
+
+class TestGroupByLine:
+    def test_groups(self, p64):
+        idx = np.array([0, 3, 7, 8, 20])
+        groups = list(group_by_line(idx, p64))
+        assert [g[0] for g in groups] == [0, 1, 2]
+        assert list(groups[0][1]) == [0, 3, 7]
+        assert list(groups[1][1]) == [8]
+        assert list(groups[2][1]) == [20]
+
+    def test_empty(self, p64):
+        assert list(group_by_line(np.array([], dtype=np.int64), p64)) == []
+
+    def test_misaligned_grouping(self):
+        p = ArrayPlacement.with_element_offset(64, 4)
+        # elements 0..3 are line 0; 4..11 line 1.
+        groups = list(group_by_line(np.array([0, 3, 4, 11]), p))
+        assert [list(g[1]) for g in groups] == [[0, 3], [4, 11]]

@@ -1,0 +1,91 @@
+"""Unit tests for repro.arch.machine and repro.arch.presets."""
+
+import pytest
+
+from repro.arch.machine import BYTES_PER_ELEMENT, CacheLevelSpec, MachineModel
+from repro.arch.presets import A64FX, MACHINES, POWER9, SKYLAKE, get_machine
+from repro.errors import ConfigurationError
+
+
+class TestCacheLevelSpec:
+    def test_geometry(self):
+        l1 = CacheLevelSpec("L1", 32 * 1024, 8, 64)
+        assert l1.n_lines == 512
+        assert l1.n_sets == 64
+        assert l1.elements_per_line == 8
+
+    def test_line_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelSpec("L1", 32 * 1024, 8, 48)
+
+    def test_positive_associativity(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelSpec("L1", 32 * 1024, 0, 64)
+
+    def test_non_power_of_two_associativity_allowed(self):
+        # POWER9's L3 is 20-way.
+        spec = CacheLevelSpec("L3", 10 * 1024 * 1024, 20, 64)
+        assert spec.n_sets * spec.associativity == spec.n_lines
+
+    def test_size_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelSpec("L1", 1000, 8, 64)
+
+
+class TestMachineModel:
+    def test_line_bytes_from_l1(self):
+        assert SKYLAKE.line_bytes == 64
+        assert A64FX.line_bytes == 256
+
+    def test_elements_per_line(self):
+        assert SKYLAKE.elements_per_line == 8
+        assert A64FX.elements_per_line == 32
+
+    def test_level_lookup(self):
+        assert SKYLAKE.level("l2").name == "L2"
+        with pytest.raises(ConfigurationError):
+            SKYLAKE.level("L9")
+
+    def test_needs_cache_levels(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(
+                name="x", cores=1, frequency_ghz=1.0, cache_levels=(),
+                memory_bandwidth_bps=1.0, peak_flops=1.0, spmv_flops=1.0,
+            )
+
+    def test_mixed_line_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(
+                name="x", cores=1, frequency_ghz=1.0,
+                cache_levels=(
+                    CacheLevelSpec("L1", 32 * 1024, 8, 64),
+                    CacheLevelSpec("L2", 256 * 1024, 8, 128),
+                ),
+                memory_bandwidth_bps=1.0, peak_flops=1.0, spmv_flops=1.0,
+            )
+
+    def test_str_mentions_line_size(self):
+        assert "64 B lines" in str(POWER9)
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(MACHINES) == {"skylake", "power9", "a64fx"}
+
+    def test_get_machine_case_insensitive(self):
+        assert get_machine("SkyLake") is SKYLAKE
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(KeyError):
+            get_machine("graviton")
+
+    def test_paper_core_counts(self):
+        # §7.1: 48-core Skylake, 40-core POWER9, 48-core A64FX.
+        assert SKYLAKE.cores == 48
+        assert POWER9.cores == 40
+        assert A64FX.cores == 48
+
+    def test_a64fx_line_is_4x(self):
+        # §7.6: the key architectural difference.
+        assert A64FX.line_bytes == 4 * SKYLAKE.line_bytes
+        assert BYTES_PER_ELEMENT * A64FX.elements_per_line == 256

@@ -1,0 +1,68 @@
+"""Unit tests for the next-line prefetcher model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import CacheLevelSpec
+from repro.cachesim.cache import SetAssociativeCache
+from repro.cachesim.prefetch import PrefetchingCache
+
+
+def spec(lines=64, ways=8):
+    return CacheLevelSpec("L1", lines * 64, ways, 64)
+
+
+class TestPrefetcher:
+    def test_sequential_stream_mostly_covered(self):
+        """The paper's §1 premise: streams are prefetch-friendly."""
+        c = PrefetchingCache(spec())
+        stream = np.arange(200)
+        c.access_many(stream)
+        # One cold demand miss, then every subsequent line was prefetched.
+        assert c.stats.demand_misses <= 5
+        assert c.stats.covered_misses >= 190
+        assert c.stats.coverage > 0.95
+
+    def test_random_stream_not_covered(self):
+        """...and random accesses (vector x) are not."""
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 10_000, 500)
+        c = PrefetchingCache(spec())
+        plain = SetAssociativeCache(spec())
+        c.access_many(stream)
+        plain.access_many(stream)
+        assert c.stats.coverage < 0.1
+        # Prefetch pollution cannot reduce demand misses below the plain
+        # cache's misses by much on random streams.
+        assert c.stats.demand_misses >= 0.8 * plain.stats.misses
+
+    def test_stall_semantics(self):
+        c = PrefetchingCache(spec())
+        assert c.access(0) is False      # cold miss stalls
+        assert c.access(1) is True       # prefetched: no stall
+        assert c.access(1) is True       # now a regular hit
+        assert c.stats.covered_misses == 1
+        assert c.stats.demand_misses == 1
+
+    def test_effective_miss_ratio(self):
+        c = PrefetchingCache(spec())
+        c.access_many(np.arange(100))
+        assert c.stats.effective_miss_ratio < 0.05
+
+    def test_reset(self):
+        c = PrefetchingCache(spec())
+        c.access_many(np.arange(10))
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.access(0) is False
+
+    def test_strided_stream_defeats_next_line(self):
+        # Stride-2 in lines: next-line prefetch never lands on the stream.
+        c = PrefetchingCache(spec(lines=256, ways=8))
+        c.access_many(np.arange(0, 400, 2))
+        assert c.stats.coverage == 0.0
+
+    def test_prefetch_not_counted_as_demand_access(self):
+        c = PrefetchingCache(spec())
+        c.access(0)
+        assert c.stats.accesses == 1

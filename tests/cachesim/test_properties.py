@@ -1,0 +1,108 @@
+"""Property-based tests for the cache simulator (hypothesis).
+
+Classical cache-theory invariants that any correct LRU implementation must
+satisfy — these catch subtle replacement/indexing bugs that example-based
+tests miss.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.address import ArrayPlacement
+from repro.arch.machine import CacheLevelSpec
+from repro.cachesim.cache import InfiniteCache, SetAssociativeCache
+from repro.cachesim.trace import spmv_trace
+from repro.sparse.pattern import Pattern
+
+streams = st.lists(st.integers(0, 63), min_size=1, max_size=300).map(np.asarray)
+
+
+def cache(ways: int, sets: int) -> SetAssociativeCache:
+    return SetAssociativeCache(CacheLevelSpec("T", sets * ways * 64, ways, 64))
+
+
+class TestLRUInclusion:
+    @given(streams, st.sampled_from([1, 2, 4]), st.sampled_from([2, 4]))
+    @settings(max_examples=80, deadline=None)
+    def test_more_ways_never_more_misses(self, stream, ways, sets):
+        """LRU inclusion property: with the set count fixed, adding ways can
+        only turn misses into hits (true-LRU is a stack algorithm per set)."""
+        small = cache(ways, sets)
+        big = cache(2 * ways, sets)
+        small.access_many(stream)
+        big.access_many(stream)
+        assert big.stats.misses <= small.stats.misses
+
+    @given(streams, st.sampled_from([1, 2, 4]))
+    @settings(max_examples=80, deadline=None)
+    def test_infinite_cache_lower_bounds_misses(self, stream, ways):
+        finite = cache(ways, 4)
+        infinite = InfiniteCache()
+        finite.access_many(stream)
+        infinite.access_many(stream)
+        assert infinite.stats.misses <= finite.stats.misses
+
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_compulsory_misses_equal_distinct_lines(self, stream):
+        infinite = InfiniteCache()
+        infinite.access_many(stream)
+        assert infinite.stats.misses == len(np.unique(stream))
+
+    @given(streams, st.sampled_from([2, 4]))
+    @settings(max_examples=60, deadline=None)
+    def test_counters_are_consistent(self, stream, ways):
+        c = cache(ways, 2)
+        c.access_many(stream)
+        st_ = c.stats
+        assert st_.accesses == len(stream)
+        assert st_.hits + st_.misses == st_.accesses
+        assert c.resident_lines <= ways * 2
+
+    @given(streams, st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_replay_determinism(self, stream, ways):
+        c1, c2 = cache(ways, 4), cache(ways, 4)
+        m1 = c1.access_many(stream)
+        m2 = c2.access_many(stream)
+        assert np.array_equal(m1, m2)
+
+
+@st.composite
+def small_patterns(draw):
+    n = draw(st.integers(2, 24))
+    seed = draw(st.integers(0, 2**31 - 1))
+    density = draw(st.floats(0.05, 0.5))
+    rng = np.random.default_rng(seed)
+    mask = rng.uniform(size=(n, n)) < density
+    np.fill_diagonal(mask, True)
+    return Pattern.from_dense_mask(mask)
+
+
+class TestTraceProperties:
+    @given(small_patterns(), st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_x_access_count_is_nnz(self, p, offset):
+        pl = ArrayPlacement.with_element_offset(64, offset)
+        tr = spmv_trace(p, pl, include_streams=True)
+        assert int(tr.is_x.sum()) == p.nnz
+
+    @given(small_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_stream_and_x_regions_disjoint(self, p):
+        pl = ArrayPlacement.aligned(64)
+        tr = spmv_trace(p, pl, include_streams=True)
+        x_lines = set(tr.lines[tr.is_x].tolist())
+        s_lines = set(tr.lines[~tr.is_x].tolist())
+        assert not (x_lines & s_lines)
+
+    @given(small_patterns(), st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_compulsory_x_misses_equal_lines_touched(self, p, offset):
+        pl = ArrayPlacement.with_element_offset(64, offset)
+        tr = spmv_trace(p, pl, include_streams=False)
+        infinite = InfiniteCache()
+        infinite.access_many(tr.lines)
+        expected = len(np.unique(np.asarray(pl.line_of(p.indices))))
+        assert infinite.stats.misses == expected

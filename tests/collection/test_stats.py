@@ -1,0 +1,54 @@
+"""Unit tests for repro.collection.stats."""
+
+import numpy as np
+import pytest
+
+from repro.collection.generators.fd import poisson2d
+from repro.collection.stats import MatrixStats, matrix_stats, suite_report
+from repro.collection.suite import get_case
+from repro.sparse.construct import csr_from_dense, csr_identity
+
+
+class TestMatrixStats:
+    def test_poisson_values(self):
+        a = poisson2d(8)
+        st = matrix_stats(a)
+        assert st.n == 64
+        assert st.nnz == a.nnz
+        assert st.bandwidth == 8
+        assert st.max_row_nnz == 5
+        assert st.density == pytest.approx(a.nnz / 64**2)
+        # Interior rows: 4 / (4*1) = 1; exactly diagonally semi-dominant.
+        assert st.diag_dominance >= 1.0
+
+    def test_identity(self):
+        st = matrix_stats(csr_identity(5))
+        assert st.bandwidth == 0
+        assert st.diag_dominance == np.inf
+        assert st.gershgorin_cond_bound == pytest.approx(1.0)
+
+    def test_gershgorin_condition_bound(self):
+        a = csr_from_dense(np.diag([1.0, 10.0]))
+        st = matrix_stats(a)
+        assert st.gershgorin_cond_bound == pytest.approx(10.0)
+
+    def test_indefinite_enclosure_gives_inf_bound(self):
+        a = csr_from_dense(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        assert matrix_stats(a).gershgorin_cond_bound == np.inf
+
+    def test_dominance_detects_weak_diagonal(self):
+        a = csr_from_dense(np.array([[1.0, 4.0], [4.0, 1.0]]))
+        assert matrix_stats(a).diag_dominance == pytest.approx(0.25)
+
+
+class TestSuiteReport:
+    def test_subset_rows(self):
+        text = suite_report([get_case(52), get_case(65)])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "Muu-syn" in text and "fv3-syn" in text
+
+    def test_header_columns(self):
+        text = suite_report([get_case(52)])
+        assert "gersh cond<=" in text.splitlines()[0]
+        assert "paper it" in text.splitlines()[0]

@@ -1,0 +1,85 @@
+"""Unit tests for the 72-case suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.collection.suite import MatrixCase, case_names, get_case, suite72
+from repro.sparse.validate import check_spd_sample, require_symmetric
+
+
+class TestRegistry:
+    def test_has_72_cases(self):
+        assert len(suite72()) == 72
+
+    def test_ids_are_table1_rows(self):
+        assert [c.case_id for c in suite72()] == list(range(1, 73))
+
+    def test_names_unique_and_marked_synthetic(self):
+        names = case_names()
+        assert len(set(names)) == 72
+        assert all(n.endswith("-syn") for n in names)
+
+    def test_get_case_by_id_and_name(self):
+        c = get_case(5)
+        assert c.case_id == 5
+        assert get_case(c.name) is c
+        assert get_case(c.name.replace("-syn", "")) is c
+
+    def test_get_case_invalid(self):
+        with pytest.raises(KeyError):
+            get_case(0)
+        with pytest.raises(KeyError):
+            get_case("nonexistent")
+
+    def test_paper_metadata_sane(self):
+        for c in suite72():
+            assert c.paper.rows > 0
+            assert c.paper.nnz >= c.paper.rows
+            assert c.paper.fsai_iters > 0
+            assert c.paper.full_pct_nnz >= 0
+
+    def test_paper_nnz_ordering_roughly_decreasing(self):
+        # Table 1 is sorted by nnz descending.
+        nnz = [c.paper.nnz for c in suite72()]
+        assert nnz == sorted(nnz, reverse=True)
+
+    def test_domains_cover_paper_variety(self):
+        domains = {c.domain for c in suite72()}
+        for expected in (
+            "Structural", "CFD", "Electromagnetics", "Thermal",
+            "Optimization", "Circuit Simulation", "Acoustics", "Materials",
+            "Economic", "2D/3D",
+        ):
+            assert expected in domains
+
+    def test_str(self):
+        assert "shipsec5-syn" in str(get_case(1))
+
+
+class TestBuild:
+    @pytest.mark.parametrize("cid", [1, 12, 21, 28, 33, 46, 59, 72])
+    def test_representative_cases_are_spd(self, cid):
+        a = get_case(cid).build()
+        require_symmetric(a, 1e-9)
+        check_spd_sample(a, n_probes=4)
+
+    def test_build_deterministic(self):
+        a = get_case(17).build()
+        b = get_case(17).build()
+        assert np.allclose(a.data, b.data)
+
+    def test_sizes_are_scaled_down(self):
+        for c in suite72():
+            a_rows = c.build().n_rows
+            assert 100 <= a_rows <= 6000
+            assert a_rows < c.paper.rows
+
+    def test_unknown_generator_raises(self):
+        from repro.errors import ConfigurationError
+
+        bad = MatrixCase(
+            case_id=99, name="bad", domain="X", generator="nope",
+            params=(), paper=get_case(1).paper,
+        )
+        with pytest.raises(ConfigurationError):
+            bad.build()

@@ -1,0 +1,62 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.address import ArrayPlacement
+from repro.collection.generators.fd import poisson2d
+from repro.sparse.construct import csr_from_dense
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def placement64():
+    """Line-aligned placement for a 64-byte-line machine."""
+    return ArrayPlacement.aligned(64)
+
+
+@pytest.fixture
+def placement256():
+    """Line-aligned placement for a 256-byte-line machine (A64FX)."""
+    return ArrayPlacement.aligned(256)
+
+
+@pytest.fixture
+def poisson16():
+    """Small 2D Poisson matrix (n = 256) — the workhorse SPD test case."""
+    return poisson2d(16)
+
+
+@pytest.fixture
+def small_spd():
+    """Dense-backed 6x6 SPD CSR matrix with a known inverse structure."""
+    rng = np.random.default_rng(7)
+    m = rng.standard_normal((6, 6))
+    return csr_from_dense(m @ m.T + 6.0 * np.eye(6))
+
+
+def random_spd_dense(n: int, seed: int = 0, *, density: float = 1.0) -> np.ndarray:
+    """Dense random SPD matrix, optionally sparsified while staying SPD.
+
+    Sparsification zeroes symmetric off-diagonal pairs and compensates on
+    the diagonal (diagonal dominance), so the result remains SPD for any
+    mask — used by property-based tests to build arbitrary SPD sparsity.
+    """
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    a = m @ m.T + n * np.eye(n)
+    if density < 1.0:
+        mask = rng.uniform(size=(n, n)) < density
+        mask = np.triu(mask, 1)
+        keep = mask | mask.T | np.eye(n, dtype=bool)
+        removed = a * ~keep
+        a = a * keep
+        a += np.diag(np.abs(removed).sum(axis=1) + 1e-6)
+    return a

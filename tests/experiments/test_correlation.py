@@ -1,0 +1,70 @@
+"""Unit tests for the paper-vs-measured correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.correlation import (
+    CorrelationReport,
+    paper_correlations,
+    spearman,
+)
+from repro.experiments.runner import ExperimentConfig
+
+
+class TestSpearman:
+    def test_perfect_positive(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariant(self):
+        x = [1.0, 5.0, 2.0, 9.0, 3.0]
+        y = [np.exp(v) for v in x]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        rho = spearman([1, 1, 2, 2], [1, 1, 2, 2])
+        assert rho == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(500)
+        y = rng.standard_normal(500)
+        assert abs(spearman(x, y)) < 0.15
+
+    def test_matches_known_value(self):
+        # Hand-computed: x = [1,2,3,4,5], y = [2,1,4,3,5] -> rho = 0.8.
+        assert spearman([1, 2, 3, 4, 5], [2, 1, 4, 3, 5]) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman([1], [1])
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+
+class TestPaperCorrelations:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        cfg = ExperimentConfig(machine="skylake", filters=(0.01,))
+        # Mix of easy and hard cases so the ordering signal exists.
+        return run_campaign(cfg, case_ids=(5, 9, 12, 21, 28, 52, 65, 72))
+
+    def test_report_fields(self, campaign):
+        rep = paper_correlations(campaign)
+        assert isinstance(rep, CorrelationReport)
+        assert rep.n_matrices == 8
+        for rho in (rep.iterations_rho, rep.improvement_rho, rep.pct_nnz_rho):
+            assert -1.0 <= rho <= 1.0
+
+    def test_difficulty_ordering_preserved(self, campaign):
+        """The suite's raison d'être: paper-hard matrices are hard here."""
+        rep = paper_correlations(campaign)
+        assert rep.iterations_rho > 0.6
+
+    def test_render(self, campaign):
+        text = paper_correlations(campaign).render()
+        assert "rank correlations" in text
+        assert "rho" in text

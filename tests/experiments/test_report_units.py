@@ -1,0 +1,73 @@
+"""Focused unit tests for report helpers and table edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.report import (
+    PAPER_SWEEPS,
+    PAPER_TABLE3,
+    _sweep_comparison,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.tables import table1, table2
+
+
+@pytest.fixture(scope="module")
+def tiny_campaign():
+    cfg = ExperimentConfig(machine="skylake", filters=(0.01,))
+    return run_campaign(cfg, case_ids=(52, 72))
+
+
+class TestPaperConstants:
+    def test_sweep_tables_complete(self):
+        # Every (machine, method) block the paper reports is transcribed.
+        assert ("skylake", "fsaie_sp") in PAPER_SWEEPS
+        assert ("skylake", "fsaie_full") in PAPER_SWEEPS
+        assert ("power9", "fsaie_full") in PAPER_SWEEPS
+        assert ("a64fx", "fsaie_full") in PAPER_SWEEPS
+        for block in PAPER_SWEEPS.values():
+            assert set(block) == {"0", "0.001", "0.01", "0.1", "best"}
+
+    def test_paper_table2_values_spotcheck(self):
+        # Table 2: FSAIE(full) best filter = 15.02% avg time on Skylake.
+        assert PAPER_SWEEPS[("skylake", "fsaie_full")]["best"][1] == 15.02
+        # Table 5: A64FX best = 22.85%.
+        assert PAPER_SWEEPS[("a64fx", "fsaie_full")]["best"][1] == 22.85
+
+    def test_paper_table3_monotone(self):
+        avgs = [PAPER_TABLE3[f][0] for f in (0.0, 0.001, 0.01, 0.1)]
+        assert avgs == sorted(avgs)
+
+
+class TestSweepComparison:
+    def test_contains_paper_and_measured(self, tiny_campaign):
+        text = _sweep_comparison(
+            tiny_campaign, "fsaie_full", "FSAIE(full) on Skylake"
+        )
+        assert "paper avg iter" in text
+        assert "| best |" in text
+        # paper figures transcribed into the row for the best filter
+        assert "16.60" in text
+
+    def test_sp_block_prints_matching_filter_rows(self, tiny_campaign):
+        # The campaign only ran filter 0.01, so only that paper row (11.76)
+        # and the best row appear — never the unrun f=0 row (12.40).
+        text = _sweep_comparison(tiny_campaign, "fsaie_sp", "label")
+        assert "11.76" in text
+        assert "12.40" not in text
+
+
+class TestTableEdgeCases:
+    def test_table1_missing_filter_raises(self, tiny_campaign):
+        with pytest.raises(KeyError):
+            table1(tiny_campaign, filter_value=0.5)
+
+    def test_table2_single_filter(self, tiny_campaign):
+        text = table2(tiny_campaign)
+        # One filter + best row per method.
+        assert text.count("best") == 2
+
+    def test_table1_reports_case_names(self, tiny_campaign):
+        text = table1(tiny_campaign, filter_value=0.01)
+        assert "Muu-syn" in text and "bcsstk27-syn" in text

@@ -1,0 +1,142 @@
+"""Unit tests for repro.experiments.runner and .campaign.
+
+A single small campaign (3 easy cases, all methods + random baseline) is
+run once per module and shared across tests — campaign mechanics are cheap
+to assert but expensive to produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collection.suite import get_case
+from repro.experiments.campaign import QUICK_CASE_IDS, quick_case_ids, run_campaign
+from repro.experiments.runner import (
+    ExperimentConfig,
+    make_rhs,
+    run_case,
+)
+
+CASE_IDS = (37, 52, 65)  # small, fast-converging cases
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    cfg = ExperimentConfig(
+        machine="skylake",
+        filters=(0.0, 0.01),
+        include_random_baseline=True,
+    )
+    return run_campaign(cfg, case_ids=CASE_IDS)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.rtol == 1e-8
+        assert cfg.max_iterations == 10_000
+        assert cfg.filters == (0.0, 0.001, 0.01, 0.1)
+
+    def test_machine_model(self):
+        assert ExperimentConfig(machine="a64fx").machine_model().line_bytes == 256
+
+
+class TestMakeRhs:
+    def test_normalised_by_max_norm(self):
+        a = get_case(37).build()
+        b = make_rhs(a, seed=1)
+        assert np.abs(b).max() <= 1.0 / a.max_norm() + 1e-15
+
+    def test_deterministic(self):
+        a = get_case(37).build()
+        assert np.array_equal(make_rhs(a, 5), make_rhs(a, 5))
+        assert not np.array_equal(make_rhs(a, 5), make_rhs(a, 6))
+
+
+class TestCampaign:
+    def test_all_cases_present(self, campaign):
+        assert len(campaign) == len(CASE_IDS)
+        assert [r.case.case_id for r in campaign.results] == list(CASE_IDS)
+
+    def test_by_id(self, campaign):
+        assert campaign.by_id(52).case.name == "Muu-syn"
+        with pytest.raises(KeyError):
+            campaign.by_id(999)
+
+    def test_run_grid_complete(self, campaign):
+        r = campaign.results[0]
+        for method in ("fsaie_sp", "fsaie_full"):
+            for f in (0.0, 0.01):
+                assert r.get(method, f).method == method
+        assert r.get("fsaie_random", 0.01).method == "fsaie_random"
+
+    def test_all_runs_converged(self, campaign):
+        for r in campaign.results:
+            assert r.baseline.converged
+            for run in r.runs.values():
+                assert run.converged
+                assert run.relative_residual <= 1e-8
+
+    def test_improvements_consistent(self, campaign):
+        r = campaign.results[0]
+        run = r.get("fsaie_full", 0.01)
+        expected = 100.0 * (
+            r.baseline.solve_seconds - run.solve_seconds
+        ) / r.baseline.solve_seconds
+        assert r.time_improvement(run) == pytest.approx(expected)
+
+    def test_best_filter_run_is_min_time(self, campaign):
+        r = campaign.results[0]
+        best = r.best_filter_run("fsaie_full")
+        times = [
+            run.solve_seconds for (m, _), run in r.runs.items()
+            if m == "fsaie_full"
+        ]
+        assert best.solve_seconds == min(times)
+
+    def test_best_filter_unknown_method(self, campaign):
+        with pytest.raises(KeyError):
+            campaign.results[0].best_filter_run("nope")
+
+    def test_random_baseline_matches_full_nnz(self, campaign):
+        for r in campaign.results:
+            assert (
+                r.get("fsaie_random", 0.01).g_nnz
+                == r.get("fsaie_full", 0.01).g_nnz
+            )
+
+    def test_positive_modelled_times(self, campaign):
+        for r in campaign.results:
+            assert r.baseline.solve_seconds > 0
+            assert r.baseline.setup_seconds > 0
+
+    def test_elapsed_recorded(self, campaign):
+        assert campaign.elapsed_seconds > 0
+
+    def test_progress_callback(self):
+        lines = []
+        cfg = ExperimentConfig(filters=(0.01,), methods=("fsaie_sp",))
+        run_campaign(cfg, case_ids=(52,), progress=lines.append)
+        assert len(lines) == 1 and "Muu-syn" in lines[0]
+
+    def test_quick_ids_subset_of_suite(self):
+        assert set(quick_case_ids()) == set(QUICK_CASE_IDS)
+        assert all(1 <= i <= 72 for i in QUICK_CASE_IDS)
+
+
+class TestMachineDependence:
+    def test_a64fx_extends_more_than_skylake(self):
+        cfg64 = ExperimentConfig(machine="skylake", filters=(0.0,))
+        cfg256 = ExperimentConfig(machine="a64fx", filters=(0.0,))
+        r64 = run_case(get_case(65), cfg64)
+        r256 = run_case(get_case(65), cfg256)
+        assert (
+            r256.get("fsaie_full", 0.0).pct_nnz
+            > r64.get("fsaie_full", 0.0).pct_nnz
+        )
+
+    def test_reuse_prebuilt_matrix(self):
+        case = get_case(52)
+        a = case.build()
+        cfg = ExperimentConfig(filters=(0.01,), methods=("fsaie_sp",))
+        r = run_case(case, cfg, a=a)
+        assert r.n == a.n_rows

@@ -1,0 +1,65 @@
+"""Unit tests for the model-sensitivity sweep."""
+
+import pytest
+
+import repro.perf.costmodel as costmodel_mod
+from repro.arch.presets import SKYLAKE
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    _PenaltyOverride,
+    render_sensitivity,
+    sweep_model_parameters,
+)
+from repro.perf.costmodel import CostModel
+
+
+class TestPenaltyOverride:
+    def test_scoped_override(self):
+        original = costmodel_mod.RANDOM_ACCESS_PENALTY
+        with _PenaltyOverride(99.0):
+            assert costmodel_mod.RANDOM_ACCESS_PENALTY == 99.0
+            assert CostModel(SKYLAKE).random_access_penalty == 99.0
+        assert costmodel_mod.RANDOM_ACCESS_PENALTY == original
+
+    def test_restores_on_exception(self):
+        original = costmodel_mod.RANDOM_ACCESS_PENALTY
+        with pytest.raises(RuntimeError):
+            with _PenaltyOverride(5.0):
+                raise RuntimeError("boom")
+        assert costmodel_mod.RANDOM_ACCESS_PENALTY == original
+
+    def test_explicit_argument_wins(self):
+        with _PenaltyOverride(3.0):
+            assert CostModel(
+                SKYLAKE, random_access_penalty=7.0
+            ).random_access_penalty == 7.0
+
+
+class TestSensitivityPoint:
+    def test_shapes_hold_logic(self):
+        good = SensitivityPoint(0.125, 8.0, 10.0, 8.0, 2.0, 20.0)
+        assert good.shapes_hold
+        no_improvement = SensitivityPoint(0.125, 8.0, -1.0, -2.0, -5.0, 20.0)
+        assert not no_improvement.shapes_hold
+        f0_wins = SensitivityPoint(0.125, 8.0, 5.0, 4.0, 6.0, 20.0)
+        assert not f0_wins.shapes_hold
+
+
+class TestSweep:
+    def test_small_sweep_runs_and_renders(self):
+        points = sweep_model_parameters(
+            (52, 65),
+            cache_scales=(0.125,),
+            penalties=(4.0, 8.0),
+        )
+        assert len(points) == 2
+        text = render_sensitivity(points)
+        assert "shapes hold at" in text
+        assert "0.125" in text
+
+    def test_iterations_independent_of_model_params(self):
+        # Iteration counts come from real solves: identical across the grid.
+        points = sweep_model_parameters(
+            (65,), cache_scales=(0.25, 0.0625), penalties=(8.0,),
+        )
+        assert points[0].avg_iters_f0_full == points[1].avg_iters_f0_full

@@ -1,0 +1,139 @@
+"""Unit tests for experiments.tables and experiments.figures."""
+
+import numpy as np
+import pytest
+
+from repro.arch.address import ArrayPlacement
+from repro.collection.generators.fem import wathen
+from repro.experiments.campaign import run_campaign
+from repro.experiments.figures import (
+    BarSeries,
+    figure1,
+    figure1_patterns,
+    figure2_series,
+    figure3_histogram,
+    figure4_histogram,
+    figure7_histogram,
+    render_bars,
+    render_histogram,
+    render_pattern_ascii,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.tables import (
+    extension_stats,
+    filter_sweep_stats,
+    setup_overhead,
+    table1,
+    table2,
+    table3,
+)
+
+CASE_IDS = (37, 52, 65)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    cfg = ExperimentConfig(
+        machine="skylake", filters=(0.0, 0.01), include_random_baseline=True
+    )
+    return run_campaign(cfg, case_ids=CASE_IDS)
+
+
+@pytest.fixture(scope="module")
+def campaign_a64(campaign):
+    cfg = ExperimentConfig(machine="a64fx", filters=(0.0, 0.01))
+    return run_campaign(cfg, case_ids=CASE_IDS)
+
+
+class TestTables:
+    def test_table1_structure(self, campaign):
+        text = table1(campaign, filter_value=0.01)
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(CASE_IDS)
+        assert "crystm02-syn" in text
+        assert "skylake" in lines[0]
+
+    def test_filter_sweep_stats_keys(self, campaign):
+        stats = filter_sweep_stats(campaign, "fsaie_full")
+        assert set(stats) == {"0", "0.01", "best"}
+        assert stats["best"].avg_time >= max(
+            stats["0"].avg_time, stats["0.01"].avg_time
+        ) - 1e-9
+
+    def test_table2_contains_both_methods(self, campaign):
+        text = table2(campaign)
+        assert "FSAIE(sp)" in text and "FSAIE(full)" in text
+        assert "best" in text
+
+    def test_table3_formatting(self):
+        text = table3([(0.01, 1.5, 10.0), (0.1, 8.0, 120.0)])
+        assert "0.01" in text and "120.00" in text
+
+    def test_setup_overhead_mentions_stats(self, campaign):
+        text = setup_overhead(campaign)
+        assert "avg" in text and "%" in text
+
+    def test_extension_stats_orders_by_line_size(self, campaign, campaign_a64):
+        text = extension_stats([campaign, campaign_a64])
+        assert "skylake" in text and "a64fx" in text
+        assert "256 B" in text
+
+
+class TestFigure1:
+    def test_patterns_nested(self):
+        a = wathen(3, 3, seed=1)
+        base, extended, filtered = figure1_patterns(a, ArrayPlacement.aligned(64))
+        assert base.is_subset_of(filtered)
+        assert filtered.is_subset_of(extended)
+
+    def test_ascii_render_glyphs(self):
+        a = wathen(3, 3, seed=1)
+        base, extended, _ = figure1_patterns(a, ArrayPlacement.aligned(64))
+        text = render_pattern_ascii(extended, base=base)
+        assert "#" in text and "+" in text and "." in text
+        assert len(text.splitlines()) == extended.n_rows
+
+    def test_full_figure_three_panels(self):
+        text = figure1(wathen(3, 3, seed=1), ArrayPlacement.aligned(64))
+        assert text.count("---") == 6  # 3 panels x 2 dashes-lines
+
+
+class TestFigure2:
+    def test_series_contents(self, campaign):
+        s = figure2_series(campaign)
+        assert isinstance(s, BarSeries)
+        assert s.ids == list(CASE_IDS)
+        assert len(s.best_filter) == len(CASE_IDS)
+        # best-filter improvement can only beat the common filter.
+        for b, c in zip(s.best_filter, s.common_filter):
+            assert b >= c - 1e-9
+
+    def test_render(self, campaign):
+        text = render_bars(figure2_series(campaign))
+        assert "skylake" in text
+        assert text.count("#") >= len(CASE_IDS)
+
+
+class TestHistograms:
+    def test_figure3_series_and_medians(self, campaign):
+        h = figure3_histogram(campaign)
+        assert set(h.counts) == {"G_FSAI", "G_FSAIE(full)", "G_random"}
+        # The paper's claim: random extensions miss far more.
+        assert h.median["G_random"] > h.median["G_FSAIE(full)"]
+
+    def test_figure3_bin_totals(self, campaign):
+        h = figure3_histogram(campaign)
+        for counts in h.counts.values():
+            assert counts.sum() == len(CASE_IDS)
+
+    def test_figure4_gflops_ordering(self, campaign):
+        h = figure4_histogram(campaign)
+        assert h.median["G_FSAIE(full)"] > h.median["G_random"]
+
+    def test_figure7_multiple_machines(self, campaign, campaign_a64):
+        h = figure7_histogram([campaign, campaign_a64])
+        assert set(h.counts) == {"skylake", "a64fx"}
+
+    def test_render_histogram(self, campaign):
+        text = render_histogram(figure3_histogram(campaign))
+        assert "median" in text and "misses / nnz(G)" in text

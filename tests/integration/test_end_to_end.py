@@ -1,0 +1,146 @@
+"""Integration tests: the paper's headline shapes, end to end.
+
+Each test exercises the full pipeline (suite matrix -> FSAI setups -> PCG
+solve -> cache simulation -> cost model) and asserts one of the DESIGN.md §5
+reproduction criteria on a small but non-trivial subset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.address import ArrayPlacement
+from repro.experiments.campaign import run_campaign
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.report import generate_report
+from repro.perf.metrics import summarize_improvements
+
+CASE_IDS = (5, 22, 41, 65)  # Poisson-family cases: reliable mid-difficulty
+
+
+@pytest.fixture(scope="module")
+def skylake():
+    cfg = ExperimentConfig(machine="skylake", include_random_baseline=True)
+    return run_campaign(cfg, case_ids=CASE_IDS)
+
+
+@pytest.fixture(scope="module")
+def a64fx():
+    cfg = ExperimentConfig(machine="a64fx")
+    return run_campaign(cfg, case_ids=CASE_IDS)
+
+
+def sweep(campaign, method):
+    out = {}
+    for f in campaign.config.filters:
+        its = [r.iter_improvement(r.get(method, f)) for r in campaign.results]
+        tms = [r.time_improvement(r.get(method, f)) for r in campaign.results]
+        out[f] = summarize_improvements(its, tms)
+    return out
+
+
+class TestShape1MethodOrdering:
+    """FSAIE(full) >= FSAIE(sp) >= 0 on average solve time (Table 2)."""
+
+    def test_full_beats_sp_on_iterations(self, skylake):
+        sp = sweep(skylake, "fsaie_sp")
+        fu = sweep(skylake, "fsaie_full")
+        for f in (0.0, 0.001, 0.01):
+            assert fu[f].avg_iterations >= sp[f].avg_iterations - 1e-9
+
+    def test_best_filter_improves_time(self, skylake):
+        for method in ("fsaie_sp", "fsaie_full"):
+            best = [
+                r.time_improvement(r.best_filter_run(method))
+                for r in skylake.results
+            ]
+            assert np.mean(best) > 0
+
+
+class TestShape2FilterBehaviour:
+    """Low filters maximise iteration gains but not time; the iteration
+    gain shrinks at filter 0.1 (Tables 2/4/5)."""
+
+    def test_iteration_gain_monotone_in_filter(self, skylake):
+        # Average trend with a small per-sample slack: dropping genuinely
+        # weak entries can occasionally *help* convergence by a step or two.
+        fu = sweep(skylake, "fsaie_full")
+        assert fu[0.0].avg_iterations >= fu[0.01].avg_iterations - 2.0
+        assert fu[0.01].avg_iterations >= fu[0.1].avg_iterations - 2.0
+
+    def test_unfiltered_time_worse_than_filtered(self, skylake):
+        fu = sweep(skylake, "fsaie_full")
+        assert fu[0.0].avg_time < max(fu[0.01].avg_time, fu[0.1].avg_time)
+
+
+class TestShape4CacheBehaviour:
+    """Cache-aware extensions ~ zero extra misses; random many (Fig. 3/4)."""
+
+    def test_misses_per_nnz(self, skylake):
+        for r in skylake.results:
+            full = r.get("fsaie_full", 0.01)
+            rnd = r.get("fsaie_random", 0.01)
+            # Cache-aware: at most a modest increase over baseline FSAI.
+            assert full.x_misses_per_g_nnz <= 1.5 * r.baseline.x_misses_per_g_nnz + 0.02
+            # Random at equal nnz: clearly worse than cache-aware.
+            assert rnd.x_misses_per_g_nnz > 1.5 * full.x_misses_per_g_nnz
+
+    def test_gflops_ordering(self, skylake):
+        for r in skylake.results:
+            assert r.get("fsaie_full", 0.01).gflops > r.get("fsaie_random", 0.01).gflops
+
+
+class TestShape5A64FX:
+    """256 B lines: bigger extensions and at least equal iteration gains
+    (Tables 4/5, §7.6-7.7)."""
+
+    def test_larger_extensions(self, skylake, a64fx):
+        for r64, r256 in zip(skylake.results, a64fx.results):
+            assert (
+                r256.get("fsaie_full", 0.0).pct_nnz
+                > r64.get("fsaie_full", 0.0).pct_nnz
+            )
+
+    def test_iteration_gains_at_least_as_large(self, skylake, a64fx):
+        f64 = sweep(skylake, "fsaie_full")
+        f256 = sweep(a64fx, "fsaie_full")
+        assert f256[0.0].avg_iterations >= f64[0.0].avg_iterations - 1e-9
+
+
+class TestShape6SetupOverhead:
+    """Extended setups cost a small multiple of FSAI setup (§7.4)."""
+
+    def test_overhead_bounded(self, skylake):
+        for r in skylake.results:
+            full = r.get("fsaie_full", 0.01)
+            ratio = full.setup_seconds / r.baseline.setup_seconds
+            # Far larger than the paper's ~2.8x: the scaled suite has tiny
+            # base rows (k ~ 5) with relatively much larger extensions, and
+            # the local-solve cost grows cubically in the row width; see
+            # EXPERIMENTS.md E-S74.
+            assert 1.0 < ratio < 1000.0
+
+
+class TestAccuracyInvariant:
+    """§7.2: achieved accuracy stays at the 1e-8 target for all methods."""
+
+    def test_relative_residuals(self, skylake):
+        for r in skylake.results:
+            assert r.baseline.relative_residual <= 1e-8
+            for run in r.runs.values():
+                assert run.relative_residual <= 1e-8
+
+
+class TestReportGeneration:
+    def test_small_report_builds(self, skylake):
+        # Reuse the module campaign for skylake; build the other two fresh
+        # (tiny case list keeps this fast).
+        from repro.experiments.report import run_all_campaigns
+
+        campaigns = run_all_campaigns(case_ids=(52, 65))
+        text = generate_report(campaigns=campaigns, include_table1=True)
+        for anchor in (
+            "E-T2", "E-T4", "E-T5", "E-T1", "E-T3", "E-F2", "E-F3",
+            "E-F4", "E-F7", "E-S74", "E-A3", "E-F1",
+        ):
+            assert anchor in text
+        assert "paper avg iter" in text

@@ -1,0 +1,175 @@
+"""Unit tests for sparse triangular solves, level sets, and IC(0)."""
+
+import numpy as np
+import pytest
+
+from repro.collection.generators.fd import poisson2d
+from repro.errors import NotSPDError, ShapeError
+from repro.solvers.cg import cg, pcg
+from repro.solvers.ichol import IncompleteCholeskyPreconditioner, ichol0
+from repro.solvers.sptrsv import (
+    level_schedule_stats,
+    level_sets,
+    sparse_backward_substitution,
+    sparse_forward_substitution,
+)
+from repro.sparse.construct import csr_from_dense
+from repro.sparse.pattern import Pattern
+from tests.conftest import random_spd_dense
+
+
+@pytest.fixture
+def lower(rng):
+    d = np.tril(rng.standard_normal((8, 8)))
+    np.fill_diagonal(d, np.abs(np.diag(d)) + 2.0)
+    return csr_from_dense(d)
+
+
+class TestTriangularSolves:
+    def test_forward(self, lower, rng):
+        b = rng.standard_normal(8)
+        x = sparse_forward_substitution(lower, b)
+        assert np.allclose(lower.to_dense() @ x, b)
+
+    def test_backward(self, lower, rng):
+        b = rng.standard_normal(8)
+        x = sparse_backward_substitution(lower, b)
+        assert np.allclose(lower.to_dense().T @ x, b)
+
+    def test_roundtrip_is_normal_equations_solve(self, lower, rng):
+        b = rng.standard_normal(8)
+        y = sparse_forward_substitution(lower, b)
+        z = sparse_backward_substitution(lower, y)
+        ld = lower.to_dense()
+        assert np.allclose(ld @ (ld.T @ z), b)
+
+    def test_rejects_upper(self, lower):
+        with pytest.raises(ShapeError):
+            sparse_forward_substitution(lower.T, np.ones(8))
+
+    def test_rejects_missing_diagonal(self):
+        l = csr_from_dense(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        with pytest.raises(NotSPDError):
+            sparse_forward_substitution(l, np.ones(2))
+
+    def test_shape_check(self, lower):
+        with pytest.raises(ShapeError):
+            sparse_forward_substitution(lower, np.ones(9))
+
+
+class TestLevelSets:
+    def test_diagonal_is_single_level(self):
+        p = Pattern.identity(6)
+        assert list(level_sets(p)) == [0] * 6
+        assert level_schedule_stats(p) == (1, 6.0)
+
+    def test_bidiagonal_is_fully_sequential(self):
+        rows = [[0]] + [[i - 1, i] for i in range(1, 6)]
+        p = Pattern.from_rows(6, 6, rows)
+        assert list(level_sets(p)) == list(range(6))
+        n_levels, avg = level_schedule_stats(p)
+        assert n_levels == 6 and avg == 1.0
+
+    def test_poisson_ic_levels_grow_with_grid(self):
+        small = poisson2d(8).tril().pattern
+        large = poisson2d(16).tril().pattern
+        assert level_schedule_stats(large)[0] > level_schedule_stats(small)[0]
+
+    def test_rejects_non_lower(self):
+        with pytest.raises(ShapeError):
+            level_sets(Pattern.identity(3).union(
+                Pattern.from_coo(3, 3, np.array([0]), np.array([2]))
+            ))
+
+
+class TestIChol0:
+    def test_exact_on_full_pattern(self):
+        # Dense SPD: IC(0) on the full lower pattern IS Cholesky.
+        d = random_spd_dense(7, seed=2)
+        a = csr_from_dense(d)
+        L = ichol0(a)
+        assert np.allclose(L.to_dense(), np.linalg.cholesky(d), atol=1e-10)
+
+    def test_pattern_preserved(self, poisson16):
+        L = ichol0(poisson16)
+        assert L.pattern == poisson16.tril().pattern
+
+    def test_residual_small_on_pattern(self, poisson16):
+        # L L^T matches A on the lower pattern of A (IC(0) property).
+        L = ichol0(poisson16).to_dense()
+        approx = L @ L.T
+        dense = poisson16.to_dense()
+        mask = np.tril(dense != 0)
+        assert np.allclose(approx[mask], dense[mask], atol=1e-10)
+
+    def test_breakdown_raises(self):
+        # SPD but strongly non-diagonally-dominant after dropping fill:
+        # force breakdown with a handcrafted indefinite restriction.
+        d = np.array([
+            [1.0, 0.0, 2.0],
+            [0.0, 1.0, 2.0],
+            [2.0, 2.0, 9.0],
+        ])
+        # This matrix is SPD? eigenvalues: check quickly — it is close to
+        # singular; IC(0) == Cholesky here (full pattern), so use a truly
+        # indefinite one to trigger the pivot error.
+        d[2, 2] = 7.0  # makes it indefinite
+        with pytest.raises(NotSPDError):
+            ichol0(csr_from_dense(d))
+
+    def test_shift_repairs_breakdown(self):
+        d = np.array([
+            [1.0, 0.0, 2.0],
+            [0.0, 1.0, 2.0],
+            [2.0, 2.0, 7.0],
+        ])
+        a = csr_from_dense(d)
+        pre = IncompleteCholeskyPreconditioner(a)
+        assert pre.shift > 0
+        z = pre.apply(np.ones(3))
+        assert np.all(np.isfinite(z))
+
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            ichol0(csr_from_dense(np.ones((2, 3))))
+
+
+class TestICPreconditioner:
+    def test_beats_plain_cg(self, poisson16, rng):
+        b = rng.standard_normal(poisson16.n_rows)
+        plain = cg(poisson16, b)
+        ic = pcg(
+            poisson16, b,
+            preconditioner=IncompleteCholeskyPreconditioner(poisson16),
+        )
+        assert ic.converged
+        assert ic.iterations < plain.iterations
+
+    def test_competitive_with_fsai_numerically(self, poisson16, rng):
+        from repro.fsai.extended import setup_fsai
+
+        b = rng.standard_normal(poisson16.n_rows)
+        ic = pcg(
+            poisson16, b,
+            preconditioner=IncompleteCholeskyPreconditioner(poisson16),
+        )
+        fsai = pcg(
+            poisson16, b, preconditioner=setup_fsai(poisson16).application
+        )
+        # §1's trade-off: implicit IC(0) is numerically at least as strong...
+        assert ic.iterations <= fsai.iterations
+
+    def test_parallel_levels_reported(self, poisson16):
+        pre = IncompleteCholeskyPreconditioner(poisson16)
+        n_levels, avg = pre.parallel_levels()
+        assert n_levels > 1  # ...but its application serialises (§1)
+        assert avg < poisson16.n_rows
+
+    def test_flops(self, poisson16):
+        pre = IncompleteCholeskyPreconditioner(poisson16)
+        assert pre.flops_per_application() == 4 * pre.factor.nnz
+
+    def test_apply_shape_check(self, poisson16):
+        pre = IncompleteCholeskyPreconditioner(poisson16)
+        with pytest.raises(ShapeError):
+            pre.apply(np.ones(3))

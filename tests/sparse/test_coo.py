@@ -1,0 +1,71 @@
+"""Unit tests for repro.sparse.coo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternError, ShapeError
+from repro.sparse.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = COOMatrix(2, 3, [0, 1], [2, 0], [1.5, -2.0])
+        assert m.shape == (2, 3)
+        assert m.nnz == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            COOMatrix(2, 2, [0], [0, 1], [1.0, 2.0])
+
+    def test_out_of_range(self):
+        with pytest.raises(PatternError):
+            COOMatrix(2, 2, [3], [0], [1.0])
+        with pytest.raises(PatternError):
+            COOMatrix(2, 2, [0], [-1], [1.0])
+
+
+class TestCanonical:
+    def test_duplicates_summed(self):
+        m = COOMatrix(2, 2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        c = m.canonical()
+        assert c.nnz == 2
+        assert np.allclose(c.to_dense(), [[0, 3], [5, 0]])
+
+    def test_sorted_row_major(self):
+        m = COOMatrix(2, 2, [1, 0], [0, 1], [1.0, 2.0])
+        c = m.canonical()
+        assert list(c.row) == [0, 1]
+
+    def test_empty(self):
+        c = COOMatrix(3, 3, [], [], []).canonical()
+        assert c.nnz == 0
+
+    def test_explicit_zero_preserved(self):
+        c = COOMatrix(1, 2, [0], [1], [0.0]).canonical()
+        assert c.nnz == 1
+
+
+class TestConversion:
+    def test_to_csr_assembly_semantics(self, rng):
+        # FE-style assembly: many duplicate contributions.
+        n = 10
+        rows = rng.integers(0, n, 200)
+        cols = rng.integers(0, n, 200)
+        vals = rng.standard_normal(200)
+        dense = np.zeros((n, n))
+        np.add.at(dense, (rows, cols), vals)
+        csr = COOMatrix(n, n, rows, cols, vals).to_csr()
+        assert np.allclose(csr.to_dense(), dense)
+
+    def test_to_dense(self):
+        m = COOMatrix(2, 2, [0, 1], [1, 1], [3.0, 4.0])
+        assert np.allclose(m.to_dense(), [[0, 3], [0, 4]])
+
+    def test_transpose(self):
+        m = COOMatrix(2, 3, [0, 1], [2, 0], [1.0, 2.0])
+        t = m.transpose()
+        assert t.shape == (3, 2)
+        assert np.allclose(t.to_dense(), m.to_dense().T)
+
+    def test_repr(self):
+        assert "nnz=2" in repr(COOMatrix(2, 2, [0, 1], [0, 1], [1.0, 1.0]))

@@ -1,0 +1,63 @@
+"""Unit tests for repro.sparse.csc."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse.construct import csr_from_dense
+
+
+@pytest.fixture
+def dense(rng):
+    d = rng.standard_normal((5, 3))
+    d[np.abs(d) < 0.5] = 0.0
+    return d
+
+
+@pytest.fixture
+def csc(dense):
+    return csr_from_dense(dense).to_csc()
+
+
+class TestCSC:
+    def test_shape_preserved(self, csc, dense):
+        assert csc.shape == dense.shape
+
+    def test_to_dense(self, csc, dense):
+        assert np.allclose(csc.to_dense(), dense)
+
+    def test_matvec(self, csc, dense, rng):
+        x = rng.standard_normal(3)
+        assert np.allclose(csc.matvec(x), dense @ x)
+
+    def test_rmatvec(self, csc, dense, rng):
+        x = rng.standard_normal(5)
+        assert np.allclose(csc.rmatvec(x), dense.T @ x)
+
+    def test_matmul(self, csc, dense):
+        x = np.ones(3)
+        assert np.allclose(csc @ x, dense @ x)
+
+    def test_matvec_shape_check(self, csc):
+        with pytest.raises(ShapeError):
+            csc.matvec(np.ones(5))
+        with pytest.raises(ShapeError):
+            csc.rmatvec(np.ones(3))
+
+    def test_col_access(self, csc, dense):
+        rows, vals = csc.col(1)
+        expected_rows = np.nonzero(dense[:, 1])[0]
+        assert np.array_equal(rows, expected_rows)
+        assert np.allclose(vals, dense[expected_rows, 1])
+
+    def test_round_trip_csr(self, csc, dense):
+        assert np.allclose(csc.to_csr().to_dense(), dense)
+
+    def test_transpose(self, csc, dense):
+        assert np.allclose(csc.T.to_dense(), dense.T)
+
+    def test_pattern_is_row_major_of_self(self, csc, dense):
+        assert np.array_equal(csc.pattern.to_dense_mask(), dense != 0)
+
+    def test_col_ids_cover_nnz(self, csc):
+        assert len(csc.col_ids()) == csc.nnz

@@ -1,0 +1,107 @@
+"""Unit tests for repro.sparse.io_mm (Matrix Market I/O)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.sparse.construct import csr_from_dense
+from repro.sparse.io_mm import (
+    matrix_market_string,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+@pytest.fixture
+def spd(small_spd):
+    return small_spd
+
+
+class TestRoundTrip:
+    def test_general(self, spd):
+        text = matrix_market_string(spd)
+        back = read_matrix_market(io.StringIO(text))
+        assert np.allclose(back.to_dense(), spd.to_dense())
+
+    def test_symmetric(self, spd):
+        text = matrix_market_string(spd, symmetric=True)
+        assert "symmetric" in text.splitlines()[0]
+        back = read_matrix_market(io.StringIO(text))
+        assert np.allclose(back.to_dense(), spd.to_dense())
+
+    def test_file_path_roundtrip(self, spd, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(spd, path, symmetric=True, comment="generated")
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), spd.to_dense())
+        assert "% generated" in path.read_text()
+
+    def test_values_exact(self):
+        m = csr_from_dense(np.array([[1.0 / 3.0, 0.0], [0.0, 1e-300]]))
+        back = read_matrix_market(io.StringIO(matrix_market_string(m)))
+        assert np.array_equal(back.data, m.data)
+
+    def test_rectangular(self):
+        m = csr_from_dense(np.array([[1.0, 0.0, 2.0]]))
+        back = read_matrix_market(io.StringIO(matrix_market_string(m)))
+        assert back.shape == (1, 3)
+
+
+class TestReader:
+    def test_pattern_field(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        m = read_matrix_market(io.StringIO(text))
+        assert np.allclose(m.to_dense(), np.eye(2))
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n"
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 0] == 7.0
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "1 1 1\n1 1 3.5\n"
+        )
+        assert read_matrix_market(io.StringIO(text)).to_dense()[0, 0] == 3.5
+
+    def test_symmetric_mirrors_offdiagonal(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n1 1 1.0\n2 1 5.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert np.allclose(m.to_dense(), [[1.0, 5.0], [5.0, 0.0]])
+
+    def test_bad_header(self):
+        with pytest.raises(MatrixFormatError):
+            read_matrix_market(io.StringIO("not a matrix\n"))
+
+    def test_unsupported_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"
+        with pytest.raises(MatrixFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_unsupported_format(self):
+        text = "%%MatrixMarket matrix array real general\n1 1\n1.0\n"
+        with pytest.raises(MatrixFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_entry_count_mismatch(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(MatrixFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_missing_value(self):
+        text = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n"
+        with pytest.raises(MatrixFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_missing_size_line(self):
+        with pytest.raises(MatrixFormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate real general\n")
+            )

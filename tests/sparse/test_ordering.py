@@ -1,0 +1,117 @@
+"""Unit tests for repro.sparse.ordering (RCM)."""
+
+import numpy as np
+import pytest
+
+from repro.collection.generators.fd import poisson2d
+from repro.errors import ShapeError
+from repro.sparse.construct import csr_from_coo_arrays, csr_from_dense
+from repro.sparse.ordering import (
+    bandwidth,
+    permute_symmetric,
+    profile,
+    pseudo_peripheral_vertex,
+    reverse_cuthill_mckee,
+)
+from repro.sparse.pattern import Pattern
+
+
+def shuffled_poisson(m, seed=0):
+    """Poisson grid with rows/cols randomly relabelled (large bandwidth)."""
+    a = poisson2d(m)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(a.n_rows)
+    return permute_symmetric(a, perm)
+
+
+class TestMetrics:
+    def test_bandwidth_tridiagonal(self):
+        a = csr_from_dense(np.diag(np.ones(4)) + np.diag(np.ones(3), 1) + np.diag(np.ones(3), -1))
+        assert bandwidth(a) == 1
+
+    def test_bandwidth_empty(self):
+        assert bandwidth(Pattern.empty(3, 3)) == 0
+
+    def test_profile_nonnegative_and_zero_for_diagonal(self):
+        assert profile(Pattern.identity(5)) == 0
+        a = poisson2d(5)
+        assert profile(a) > 0
+
+
+class TestRCM:
+    def test_is_permutation(self):
+        a = shuffled_poisson(8)
+        perm = reverse_cuthill_mckee(a)
+        assert sorted(perm.tolist()) == list(range(a.n_rows))
+
+    def test_reduces_bandwidth_of_shuffled_grid(self):
+        a = shuffled_poisson(10, seed=3)
+        perm = reverse_cuthill_mckee(a)
+        b = permute_symmetric(a, perm)
+        assert bandwidth(b) < bandwidth(a) / 2
+        # Grid graph: RCM should approach the natural-order bandwidth.
+        assert bandwidth(b) <= 3 * 10
+
+    def test_reduces_profile(self):
+        a = shuffled_poisson(9, seed=5)
+        b = permute_symmetric(a, reverse_cuthill_mckee(a))
+        assert profile(b) < profile(a)
+
+    def test_disconnected_components(self):
+        # Two disjoint 3-cliques.
+        rows = [0, 0, 1, 3, 3, 4]
+        cols = [1, 2, 2, 4, 5, 5]
+        r = np.array(rows + cols + list(range(6)))
+        c = np.array(cols + rows + list(range(6)))
+        a = csr_from_coo_arrays(6, 6, r, c, np.ones(len(r), dtype=float))
+        perm = reverse_cuthill_mckee(a)
+        assert sorted(perm.tolist()) == list(range(6))
+
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            reverse_cuthill_mckee(Pattern.empty(2, 3))
+
+    def test_deterministic(self):
+        a = shuffled_poisson(7, seed=9)
+        assert np.array_equal(reverse_cuthill_mckee(a), reverse_cuthill_mckee(a))
+
+
+class TestPermuteSymmetric:
+    def test_preserves_operator(self, rng):
+        a = poisson2d(6)
+        perm = rng.permutation(a.n_rows)
+        b = permute_symmetric(a, perm)
+        x = rng.standard_normal(a.n_rows)
+        # (P A P^T)(P x) = P (A x)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(len(perm))
+        assert np.allclose(b.matvec(x[perm]), a.matvec(x)[perm])
+
+    def test_preserves_spectrum(self, rng):
+        a = poisson2d(4)
+        perm = rng.permutation(a.n_rows)
+        b = permute_symmetric(a, perm)
+        assert np.allclose(
+            np.linalg.eigvalsh(a.to_dense()), np.linalg.eigvalsh(b.to_dense())
+        )
+
+    def test_identity_permutation(self):
+        a = poisson2d(4)
+        b = permute_symmetric(a, np.arange(a.n_rows))
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_validates_permutation(self):
+        a = poisson2d(3)
+        with pytest.raises(ShapeError):
+            permute_symmetric(a, np.zeros(a.n_rows, dtype=np.int64))
+
+
+class TestPeripheral:
+    def test_path_graph_ends(self):
+        # Path 0-1-2-3-4: peripheral vertices are 0 and 4.
+        n = 5
+        r = np.array([0, 1, 2, 3, 1, 2, 3, 4] + list(range(n)))
+        c = np.array([1, 2, 3, 4, 0, 1, 2, 3] + list(range(n)))
+        a = csr_from_coo_arrays(n, n, r, c, np.ones(len(r), dtype=float))
+        v = pseudo_peripheral_vertex(a.pattern, start=2)
+        assert v in (0, 4)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.sparse.symbolic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse.construct import csr_from_dense
+from repro.sparse.pattern import Pattern
+from repro.sparse.symbolic import (
+    pattern_multiply,
+    pattern_power,
+    symmetrize_pattern,
+    threshold_matrix,
+    threshold_pattern,
+)
+
+
+def mask_of(dense):
+    return Pattern.from_dense_mask(np.asarray(dense) != 0)
+
+
+class TestPatternMultiply:
+    def test_matches_boolean_matmul(self, rng):
+        a = (rng.uniform(size=(6, 5)) < 0.4).astype(float)
+        b = (rng.uniform(size=(5, 7)) < 0.4).astype(float)
+        expected = (a @ b) != 0
+        got = pattern_multiply(mask_of(a), mask_of(b))
+        assert np.array_equal(got.to_dense_mask(), expected)
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ShapeError):
+            pattern_multiply(Pattern.identity(3), Pattern.identity(4))
+
+    def test_empty_rows_propagate(self):
+        a = Pattern.empty(3, 3)
+        out = pattern_multiply(a, Pattern.identity(3))
+        assert out.nnz == 0
+
+    def test_identity_is_neutral(self, rng):
+        m = (rng.uniform(size=(5, 5)) < 0.4)
+        p = Pattern.from_dense_mask(m)
+        assert pattern_multiply(p, Pattern.identity(5)) == p
+
+
+class TestPatternPower:
+    def test_power_one_is_self(self):
+        p = Pattern.identity(4)
+        assert pattern_power(p, 1) is p
+
+    def test_power_matches_dense(self, rng):
+        m = (rng.uniform(size=(8, 8)) < 0.25) | np.eye(8, dtype=bool)
+        p = Pattern.from_dense_mask(m)
+        for n in (2, 3):
+            expected = np.linalg.matrix_power(m.astype(float), n) != 0
+            assert np.array_equal(pattern_power(p, n).to_dense_mask(), expected)
+
+    def test_power_monotone(self, rng):
+        # With a full diagonal, pattern(A^n) grows monotonically with n.
+        m = (rng.uniform(size=(10, 10)) < 0.15) | np.eye(10, dtype=bool)
+        p = Pattern.from_dense_mask(m)
+        p2 = pattern_power(p, 2)
+        p3 = pattern_power(p, 3)
+        assert p.is_subset_of(p2)
+        assert p2.is_subset_of(p3)
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            pattern_power(Pattern.identity(3), 0)
+
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            pattern_power(Pattern.empty(2, 3), 2)
+
+
+class TestThreshold:
+    def test_scale_independence(self):
+        d = np.array([[4.0, 0.5, 0.0], [0.5, 2.0, 0.1], [0.0, 0.1, 1.0]])
+        a = csr_from_dense(d)
+        s = np.diag([10.0, 0.1, 3.0])
+        scaled = csr_from_dense(s @ d @ s)
+        tau = 0.2
+        assert np.array_equal(
+            threshold_pattern(a, tau).to_dense_mask(),
+            threshold_pattern(scaled, tau).to_dense_mask(),
+        )
+
+    def test_zero_threshold_keeps_all(self, small_spd):
+        assert threshold_matrix(small_spd, 0.0).nnz == small_spd.nnz
+
+    def test_large_threshold_keeps_only_diagonal(self, small_spd):
+        t = threshold_matrix(small_spd, 1e6)
+        assert t.nnz == small_spd.n_rows
+        assert np.allclose(t.diagonal(), small_spd.diagonal())
+
+    def test_negative_threshold_raises(self, small_spd):
+        with pytest.raises(ValueError):
+            threshold_matrix(small_spd, -0.1)
+
+    def test_requires_square(self):
+        m = csr_from_dense(np.ones((2, 3)))
+        with pytest.raises(ShapeError):
+            threshold_matrix(m, 0.1)
+
+
+class TestSymmetrize:
+    def test_union_with_transpose(self):
+        p = Pattern.from_coo(3, 3, np.array([1]), np.array([0]))
+        s = symmetrize_pattern(p)
+        assert (0, 1) in s and (1, 0) in s
+
+    def test_idempotent_on_symmetric(self, small_spd):
+        p = small_spd.pattern
+        assert symmetrize_pattern(p) == p
+
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            symmetrize_pattern(Pattern.empty(2, 3))

@@ -1,0 +1,86 @@
+"""Tests for package-level plumbing: errors, typing helpers, version, CLI
+module entry point."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro._typing import as_index_array, as_value_array
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    MatrixFormatError,
+    NotSPDError,
+    NotSymmetricError,
+    PatternError,
+    ReproError,
+    ShapeError,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            ShapeError, PatternError, NotSymmetricError, NotSPDError,
+            ConvergenceError, MatrixFormatError, ConfigurationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compat(self):
+        # Callers may catch ValueError for input-validation classes.
+        for exc in (ShapeError, PatternError, ConfigurationError):
+            assert issubclass(exc, ValueError)
+
+    def test_convergence_error_payload(self):
+        e = ConvergenceError("slow", iterations=10, residual=0.5)
+        assert e.iterations == 10
+        assert e.residual == 0.5
+        assert isinstance(e, RuntimeError)
+
+    def test_single_except_catches_all(self):
+        with pytest.raises(ReproError):
+            raise NotSPDError("nope")
+
+
+class TestTypingHelpers:
+    def test_as_value_array_converts(self):
+        out = as_value_array([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_as_value_array_no_copy_when_possible(self):
+        src = np.zeros(4, dtype=np.float64)
+        out = as_value_array(src)
+        assert out is src or np.shares_memory(out, src)
+
+    def test_as_value_array_copy_flag(self):
+        src = np.zeros(4, dtype=np.float64)
+        out = as_value_array(src, copy=True)
+        assert not np.shares_memory(out, src)
+
+    def test_as_index_array(self):
+        out = as_index_array([1, 2])
+        assert out.dtype == np.int64
+
+
+class TestVersion:
+    def test_exposed(self):
+        assert repro.__version__
+        assert repro.__version__.count(".") == 2
+
+    def test_matches_module(self):
+        from repro.version import __version__
+        assert repro.__version__ == __version__
+
+
+class TestMainModule:
+    def test_python_dash_m_entry(self):
+        import subprocess
+        import sys
+
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "suite"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert out.returncode == 0
+        assert "shipsec5-syn" in out.stdout
