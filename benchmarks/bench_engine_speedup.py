@@ -1,0 +1,128 @@
+"""E-A13 — engine-speedup regression: vectorized vs reference hot paths.
+
+The offline LRU engine, the vectorized stack-distance profiler and the
+bucketed FSAI setup all replace bit-exact reference implementations.  This
+bench times both sides of each pair on the campaign workload and records
+the result as ``BENCH_engine.json`` at the repository root — the composite
+wall-time reduction is asserted so the optimisation cannot silently regress.
+
+Components (each timed as min over repetitions, §7.1 style):
+
+* ``stack_distances`` — Mattson profiling of every case's SpMV trace:
+  per-access Fenwick tree vs the sort/merge-count engine.
+* ``fsai_setup`` — Frobenius-minimal ``G``: per-row gather + batched solve
+  vs size-bucketed stacked gather/solve.
+* ``cache_replay`` — Skylake-L1 trace replay: ``OrderedDict`` walk vs the
+  offline engine (near parity by design — the collapse fast-path pays for
+  the sort passes; included so the record keeps an honest composite).
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_CASE_IDS, scope_note
+from repro.arch.address import ArrayPlacement
+from repro.arch.presets import SKYLAKE
+from repro.cachesim.cache import SetAssociativeCache
+from repro.cachesim.stackdist import stack_distances
+from repro.cachesim.trace import spmv_trace
+from repro.collection.suite import get_case, suite72
+from repro.fsai.frobenius import compute_g
+from repro.fsai.patterns import fsai_initial_pattern
+from repro.perf.regression import RegressionComponent, RegressionRecord
+from repro.perf.timer import min_over_repetitions
+
+CASE_IDS = BENCH_CASE_IDS or tuple(c.case_id for c in suite72())
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+#: Acceptance floor for the composite old/new wall-time ratio.
+MIN_COMPOSITE_SPEEDUP = 5.0
+
+REPETITIONS = 2
+
+
+def _workload():
+    """(trace lines, matrix, pattern) per campaign case."""
+    placement = ArrayPlacement.aligned(64)
+    out = []
+    for case_id in CASE_IDS:
+        a = get_case(case_id).build()
+        pattern = fsai_initial_pattern(a)
+        trace = spmv_trace(pattern, placement, include_streams=True)
+        out.append((trace.lines, a, pattern))
+    return out
+
+
+def _component(name, detail, ref_fn, opt_fn):
+    t_ref, _ = min_over_repetitions(ref_fn, repetitions=REPETITIONS)
+    t_opt, _ = min_over_repetitions(opt_fn, repetitions=REPETITIONS)
+    return RegressionComponent(
+        name=name, reference_seconds=t_ref, optimized_seconds=t_opt,
+        detail=detail,
+    )
+
+
+def test_engine_speedup(benchmark, capsys):
+    work = _workload()
+    traces = [lines for lines, _, _ in work]
+    n_accesses = int(sum(len(t) for t in traces))
+    l1 = SKYLAKE.cache_levels[0]
+
+    def stackdist(backend):
+        def run():
+            for lines in traces:
+                stack_distances(lines, backend=backend)
+        return run
+
+    def setup(backend):
+        def run():
+            for _, a, pattern in work:
+                compute_g(a, pattern, backend=backend)
+        return run
+
+    def replay(backend):
+        def run():
+            for lines in traces:
+                SetAssociativeCache(l1, backend=backend).access_many(lines)
+        return run
+
+    components = [
+        _component(
+            "stack_distances", f"{len(traces)} traces, {n_accesses} accesses",
+            stackdist("reference"), stackdist("vector"),
+        ),
+        _component(
+            "fsai_setup", f"{len(work)} matrices, initial FSAI pattern",
+            setup("reference"), setup("bucketed"),
+        ),
+        _component(
+            "cache_replay", f"L1 {l1.n_sets}x{l1.associativity}, full traces",
+            replay("reference"), replay("vector"),
+        ),
+    ]
+
+    record = RegressionRecord(
+        label="vectorized engine + bucketed FSAI setup",
+        scope=scope_note(),
+        components=components,
+    )
+    record.write(ARTIFACT)
+
+    # pytest-benchmark wants one timed callable; re-time the optimized
+    # composite so the bench table shows the new engine's cost.
+    benchmark.pedantic(
+        lambda: (stackdist("vector")(), setup("bucketed")()),
+        rounds=1, iterations=1,
+    )
+
+    with capsys.disabled():
+        print(f"\n[{scope_note()}] -> {ARTIFACT.name}")
+        for line in record.summary_lines():
+            print("  " + line)
+
+    benchmark.extra_info["composite_speedup"] = round(record.speedup, 2)
+    assert record.speedup >= MIN_COMPOSITE_SPEEDUP, (
+        f"composite speedup {record.speedup:.2f}x fell below "
+        f"{MIN_COMPOSITE_SPEEDUP:.0f}x — see {ARTIFACT}"
+    )

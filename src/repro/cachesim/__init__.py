@@ -14,7 +14,20 @@ The three public layers:
   and the measurement entry points used by the Figure 3 experiment.
 """
 
-from repro.cachesim.cache import CacheStats, SetAssociativeCache, InfiniteCache
+from repro.cachesim.cache import (
+    CACHE_BACKENDS,
+    CacheStats,
+    SetAssociativeCache,
+    InfiniteCache,
+)
+from repro.cachesim.engine import (
+    LRUSimOutcome,
+    count_leq_before,
+    previous_occurrence,
+    set_stack_distances,
+    simulate_set_lru,
+    stack_distances_vectorized,
+)
 from repro.cachesim.hierarchy import CacheHierarchy, LevelStats
 from repro.cachesim.trace import (
     REGION_X,
@@ -37,9 +50,16 @@ from repro.cachesim.stackdist import (
 from repro.cachesim.prefetch import PrefetchingCache, PrefetchStats
 
 __all__ = [
+    "CACHE_BACKENDS",
     "CacheStats",
     "SetAssociativeCache",
     "InfiniteCache",
+    "LRUSimOutcome",
+    "count_leq_before",
+    "previous_occurrence",
+    "set_stack_distances",
+    "simulate_set_lru",
+    "stack_distances_vectorized",
     "CacheHierarchy",
     "LevelStats",
     "REGION_X",

@@ -2,23 +2,51 @@
 
 The simulator operates at cache-line granularity: callers translate element
 accesses to line ids (via :mod:`repro.arch.cacheline`) and feed the line-id
-stream to :meth:`SetAssociativeCache.access_many`.  Within each set an
-``OrderedDict`` gives O(1) LRU updates — the fastest pure-Python structure
-for this access pattern (measured against list- and array-based variants).
+stream to :meth:`SetAssociativeCache.access_many`.
+
+Two interchangeable backends produce bit-identical results:
+
+* ``"vector"`` (default) — the offline engine of
+  :mod:`repro.cachesim.engine`: per-set stack distances computed with
+  sort/group NumPy primitives, hit iff distance ``< ways``.  Interpreter
+  cost is O(log n) vectorized passes instead of O(n) dict operations.
+* ``"reference"`` — the original per-access ``OrderedDict`` walk (O(1) LRU
+  updates, the fastest pure-Python structure for this pattern).  Kept as
+  the oracle the property tests compare the engine against, and used
+  automatically for tiny traces where vectorization overhead dominates.
+
+Both backends maintain the same live cache state, so scalar probes
+(:meth:`access`, :meth:`contains`) and batch replays can be mixed freely.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
 from repro.arch.machine import CacheLevelSpec
+from repro.cachesim.engine import simulate_set_lru
 from repro.errors import ConfigurationError
 
-__all__ = ["CacheStats", "SetAssociativeCache", "InfiniteCache"]
+__all__ = ["CacheStats", "SetAssociativeCache", "InfiniteCache", "CACHE_BACKENDS"]
+
+#: Recognised ``backend=`` values for the cache models.
+CACHE_BACKENDS = ("vector", "reference")
+
+#: Below this trace length the per-access loop beats the sort-based engine
+#: (a handful of argsorts cost more than a few dozen dict operations).
+_VECTOR_MIN_TRACE = 64
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in CACHE_BACKENDS:
+        raise ConfigurationError(
+            f"unknown cache backend {backend!r}; expected one of {CACHE_BACKENDS}"
+        )
+    return backend
 
 
 @dataclass
@@ -57,10 +85,11 @@ class SetAssociativeCache:
     physically- and virtually-indexed caches for our aligned line ids.
     """
 
-    def __init__(self, spec: CacheLevelSpec) -> None:
+    def __init__(self, spec: CacheLevelSpec, *, backend: str = "vector") -> None:
         self.spec = spec
         self.n_sets = spec.n_sets
         self.ways = spec.associativity
+        self.backend = _check_backend(backend)
         if self.n_sets <= 0:
             raise ConfigurationError(f"{spec.name}: zero sets")
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
@@ -96,10 +125,18 @@ class SetAssociativeCache:
     def access_many(self, line_ids: np.ndarray) -> np.ndarray:
         """Access a line-id stream; returns a boolean hit mask.
 
-        The loop body is kept minimal (locals hoisted, no attribute lookups)
-        — this is the hot path of every cache experiment.
+        Dispatches to the offline vectorized engine unless the instance was
+        built with ``backend="reference"`` (or the trace is too short to
+        amortise the sort passes).  Both paths leave identical counters and
+        identical live state behind.
         """
         line_ids = np.asarray(line_ids, dtype=np.int64)
+        if self.backend == "reference" or len(line_ids) < _VECTOR_MIN_TRACE:
+            return self._access_many_reference(line_ids)
+        return self._access_many_vector(line_ids)
+
+    def _access_many_reference(self, line_ids: np.ndarray) -> np.ndarray:
+        """Per-access replay (the original oracle loop, locals hoisted)."""
         hits_mask = np.empty(len(line_ids), dtype=bool)
         sets = self._sets
         n_sets = self.n_sets
@@ -125,6 +162,36 @@ class SetAssociativeCache:
         st.evictions += n_evict
         return hits_mask
 
+    def _warm_lines(self) -> np.ndarray:
+        """Current contents as a warm-start prefix (per-set LRU order)."""
+        resident: List[int] = []
+        for s in self._sets:
+            if s:
+                resident.extend(s.keys())
+        return np.asarray(resident, dtype=np.int64)
+
+    def _access_many_vector(self, line_ids: np.ndarray) -> np.ndarray:
+        outcome = simulate_set_lru(
+            line_ids, self.n_sets, self.ways, warm_lines=self._warm_lines()
+        )
+        # Re-materialise live state so scalar probes stay exact: the engine
+        # reports residents per set in LRU order = OrderedDict insert order.
+        for s in self._sets:
+            if s:
+                s.clear()
+        sets = self._sets
+        for set_idx, line in zip(
+            outcome.state_sets.tolist(), outcome.state_lines.tolist()
+        ):
+            sets[set_idx][line] = None
+        n_hits = int(outcome.hits.sum())
+        st = self.stats
+        st.accesses += len(line_ids)
+        st.hits += n_hits
+        st.misses += len(line_ids) - n_hits
+        st.evictions += outcome.evictions
+        return outcome.hits
+
     @property
     def resident_lines(self) -> int:
         """Number of lines currently held."""
@@ -146,8 +213,9 @@ class InfiniteCache:
     assert through this model.
     """
 
-    def __init__(self, name: str = "INF") -> None:
+    def __init__(self, name: str = "INF", *, backend: str = "vector") -> None:
         self.name = name
+        self.backend = _check_backend(backend)
         self._seen: set = set()
         self.stats = CacheStats()
 
@@ -170,6 +238,25 @@ class InfiniteCache:
 
     def access_many(self, line_ids: np.ndarray) -> np.ndarray:
         line_ids = np.asarray(line_ids, dtype=np.int64)
+        if self.backend == "reference" or len(line_ids) < _VECTOR_MIN_TRACE:
+            return self._access_many_reference(line_ids)
+        # Vector path: a miss is the first in-trace touch of a line not
+        # already seen; Python work is O(distinct lines), not O(accesses).
+        seen = self._seen
+        uniq, first_idx = np.unique(line_ids, return_index=True)
+        new = np.fromiter(
+            (u not in seen for u in uniq.tolist()), dtype=bool, count=len(uniq)
+        )
+        hits_mask = np.ones(len(line_ids), dtype=bool)
+        hits_mask[first_idx[new]] = False
+        seen.update(uniq[new].tolist())
+        n_misses = int(new.sum())
+        self.stats.accesses += len(line_ids)
+        self.stats.hits += len(line_ids) - n_misses
+        self.stats.misses += n_misses
+        return hits_mask
+
+    def _access_many_reference(self, line_ids: np.ndarray) -> np.ndarray:
         hits_mask = np.empty(len(line_ids), dtype=bool)
         seen = self._seen
         n_hits = 0

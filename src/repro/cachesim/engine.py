@@ -1,0 +1,297 @@
+"""Vectorized set-associative LRU simulation engine.
+
+The per-access ``OrderedDict`` walk in :mod:`repro.cachesim.cache` is exact
+but pays interpreter cost for every access.  This module computes the same
+hit/miss/eviction outcome *offline* with sort/group-based NumPy primitives,
+exploiting the classical stack property of LRU (Mattson et al., 1970):
+
+    an access to a true-LRU set-associative cache **hits iff its per-set
+    stack distance is < ways**,
+
+where the per-set stack distance is the number of *distinct* lines mapped to
+the same set that were touched since the previous access to the same line
+(infinite for first touches).
+
+The pipeline is allocation-bound rather than interpreter-bound:
+
+1. group the trace by set with one stable argsort (``line mod n_sets``);
+2. find each access's previous occurrence with a second stable argsort;
+3. count, for every access ``t`` with previous occurrence ``p``, the
+   "first-in-window" accesses in ``(p, t)`` — accesses ``u`` with
+   ``prev[u] <= p`` — via a vectorized bottom-up merge count
+   (:func:`count_leq_before`); the count minus ``p + 1`` is the distance.
+
+Step 3 works on the *whole* set-grouped trace at once: because every access
+``u`` satisfies ``prev[u] < u``, all accesses of earlier set groups are
+counted by both terms of the difference and cancel exactly (see
+``docs/simulation_model.md`` §3a for the algebra).
+
+Eviction totals come from conservation instead of replay: a set's occupancy
+equals misses-in minus evictions-out, and its final occupancy is
+``min(distinct lines, ways)``.
+
+Everything here is a pure function of the trace — the stateful cache
+objects in :mod:`repro.cachesim.cache` encode their current contents as a
+warm-start prefix and delegate to :func:`simulate_set_lru`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "count_leq_before",
+    "previous_occurrence",
+    "stack_distances_vectorized",
+    "set_stack_distances",
+    "LRUSimOutcome",
+    "simulate_set_lru",
+]
+
+
+def count_leq_before(values: np.ndarray) -> np.ndarray:
+    """For each position ``j``: ``#{u < j : values[u] <= values[j]}``.
+
+    Vectorized bottom-up merge count.  Each level sorts sibling blocks as
+    rows of one 2-D array (NumPy sorts rows in C, across all blocks at
+    once); within a merged pair, a right-block element's merged rank minus
+    its rank inside the right block is exactly the number of left-block
+    elements ``<=`` it, and left blocks hold strictly earlier positions by
+    construction.  O(n log² n) work, O(log n) Python steps.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    if n < 2:
+        return np.zeros(n, dtype=np.int64)
+    size = 1 << int(n - 1).bit_length()
+    counts = np.zeros(size, dtype=np.int64)  # sentinel tail discarded at return
+    vals = np.empty(size, dtype=np.int64)
+    vals[:n] = values
+    vals[n:] = values.max() + 1  # sentinel: never <= any real value
+    orig = np.arange(size, dtype=np.int64)
+    half = 1
+    while half < size:
+        width = 2 * half
+        v2 = vals.reshape(-1, width)
+        o2 = orig.reshape(-1, width)
+        order = np.argsort(v2, axis=1, kind="stable")
+        ranks = np.empty_like(order)
+        np.put_along_axis(
+            ranks, order,
+            np.broadcast_to(np.arange(width), v2.shape), axis=1,
+        )
+        # Right-half queries: merged rank − rank within the right half.
+        # Each original position appears exactly once per level, so plain
+        # fancy-index accumulation is safe (no duplicate targets).
+        counts[o2[:, half:]] += ranks[:, half:] - np.arange(half)
+        vals = np.take_along_axis(v2, order, axis=1).reshape(size)
+        orig = np.take_along_axis(o2, order, axis=1).reshape(size)
+        half = width
+    return counts[:n]
+
+
+def previous_occurrence(lines: np.ndarray) -> np.ndarray:
+    """Index of the previous access to the same line (``-1`` at first touch)."""
+    lines = np.asarray(lines, dtype=np.int64)
+    n = len(lines)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return prev
+    order = np.argsort(lines, kind="stable")
+    grouped = lines[order]
+    same = grouped[1:] == grouped[:-1]
+    prev_in_order = np.full(n, -1, dtype=np.int64)
+    prev_in_order[1:][same] = order[:-1][same]
+    prev[order] = prev_in_order
+    return prev
+
+
+def _distances_from_prev(prev: np.ndarray) -> np.ndarray:
+    """Stack distances given previous-occurrence indices (``-1`` first touch).
+
+    ``sd[t] = #{u in (p, t) : prev[u] <= p} = #{u < t : prev[u] <= p} − (p+1)``
+    — the subtracted block ``u <= p`` is counted entirely because
+    ``prev[u] < u <= p`` always holds.  Since the query value at ``t`` is
+    ``prev[t]`` itself, the remaining count is :func:`count_leq_before` on
+    the ``prev`` array.
+    """
+    counted = count_leq_before(prev)
+    return np.where(prev >= 0, counted - prev - 1, np.int64(-1))
+
+
+def _collapsed_distances(grouped: np.ndarray) -> np.ndarray:
+    """Stack distances of a (set-grouped) trace, collapsing immediate repeats.
+
+    An access that repeats its predecessor (within the group) has distance
+    exactly 0, and — being a *non*-first touch inside any window that
+    contains it — is never counted towards anyone else's distinct-line
+    total.  Dropping such accesses before the O(n log² n) merge count
+    therefore changes nothing, while real SpMV traces are 50–75 %
+    immediate repeats (spatial locality: consecutive nonzeros share
+    matrix/index/vector lines).
+    """
+    n = len(grouped)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    np.not_equal(grouped[1:], grouped[:-1], out=keep[1:])
+    if keep.all():
+        return _distances_from_prev(previous_occurrence(grouped))
+    sd = np.zeros(n, dtype=np.int64)
+    compressed = grouped[keep]
+    sd[keep] = _distances_from_prev(previous_occurrence(compressed))
+    return sd
+
+
+def stack_distances_vectorized(lines: np.ndarray) -> np.ndarray:
+    """Fully-associative LRU stack distance of every access (``-1`` = ∞)."""
+    lines = np.asarray(lines, dtype=np.int64)
+    return _collapsed_distances(lines)
+
+
+def set_stack_distances(
+    lines: np.ndarray, n_sets: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-set stack distance of every access of a set-indexed cache.
+
+    Returns ``(distances, sets)`` aligned with the input trace; the set of
+    access ``k`` is ``lines[k] mod n_sets``.  With the trace stably grouped
+    by set, the fully-associative formula applies unchanged: accesses of
+    other groups cancel between the window count and the ``p + 1``
+    correction because ``prev[u] < u`` everywhere.
+    """
+    lines = np.asarray(lines, dtype=np.int64)
+    sets = lines % n_sets
+    if n_sets == 1:
+        return _collapsed_distances(lines), sets
+    order = np.argsort(sets, kind="stable")
+    sd_grouped = _collapsed_distances(lines[order])
+    distances = np.empty(len(lines), dtype=np.int64)
+    distances[order] = sd_grouped
+    return distances, sets
+
+
+@dataclass(frozen=True)
+class LRUSimOutcome:
+    """Result of one offline LRU replay.
+
+    ``hits`` aligns with the input trace (warm-start prefix removed);
+    ``evictions`` counts suffix-only capacity evictions; the final state is
+    reported as parallel arrays grouped by set, each set's residents in LRU
+    order (least recent first) — exactly an ``OrderedDict``'s insert order.
+    """
+
+    hits: np.ndarray
+    evictions: int
+    state_sets: np.ndarray
+    state_lines: np.ndarray
+
+
+def _trailing_per_group(group_keys: np.ndarray, ways: int) -> np.ndarray:
+    """Mask keeping the trailing ``ways`` entries of each contiguous group."""
+    m = len(group_keys)
+    starts = np.empty(m, dtype=bool)
+    starts[0] = True
+    np.not_equal(group_keys[1:], group_keys[:-1], out=starts[1:])
+    group_id = np.cumsum(starts) - 1
+    group_start = np.flatnonzero(starts)
+    group_len = np.diff(np.append(group_start, m))
+    rank = np.arange(m) - group_start[group_id]
+    return rank >= group_len[group_id] - ways
+
+
+def simulate_set_lru(
+    lines: np.ndarray,
+    n_sets: int,
+    ways: int,
+    *,
+    warm_lines: Optional[np.ndarray] = None,
+) -> LRUSimOutcome:
+    """Replay a line-id trace against an LRU set-associative cache, offline.
+
+    ``warm_lines`` encodes pre-existing cache contents as a synthetic access
+    prefix: each set's residents in LRU order (least recent first).  The
+    encoding is exact for LRU — replaying the residents re-creates the
+    per-set stacks — so hit/miss/eviction counts of the suffix match a
+    stateful replay bit for bit.
+
+    The whole pipeline shares two stable argsorts: one groups the trace by
+    set, one groups the *collapsed* trace by line — the latter yields both
+    the previous-occurrence pointers (for distances) and the last-occurrence
+    ranking (for the final cache state), whose positions in the set-grouped
+    trace are per-set contiguous, so sorting them by position alone already
+    groups the residents by set in LRU order.
+    """
+    lines = np.asarray(lines, dtype=np.int64)
+    n_warm = 0 if warm_lines is None else len(warm_lines)
+    if n_warm:
+        combined = np.concatenate([np.asarray(warm_lines, np.int64), lines])
+    else:
+        combined = lines
+    n = len(combined)
+    if n == 0:
+        return LRUSimOutcome(
+            hits=np.zeros(0, dtype=bool), evictions=0,
+            state_sets=np.empty(0, np.int64), state_lines=np.empty(0, np.int64),
+        )
+    if n_sets == 1:
+        order = None
+        grouped = combined
+    else:
+        order = np.argsort(combined % n_sets, kind="stable")
+        grouped = combined[order]
+
+    # Collapse immediate repeats (guaranteed hits, invisible to every other
+    # access's distinct-line count — see :func:`_collapsed_distances`).
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    np.not_equal(grouped[1:], grouped[:-1], out=keep[1:])
+    compressed = grouped[keep]
+    m = len(compressed)
+
+    # One stable argsort by line serves prev-occurrence AND last-occurrence.
+    lorder = np.argsort(compressed, kind="stable")
+    lsorted = compressed[lorder]
+    same = lsorted[1:] == lsorted[:-1]
+    prev_in_order = np.full(m, -1, dtype=np.int64)
+    prev_in_order[1:][same] = lorder[:-1][same]
+    prev = np.empty(m, dtype=np.int64)
+    prev[lorder] = prev_in_order
+    sd = _distances_from_prev(prev)
+
+    hits_grouped = np.ones(n, dtype=bool)  # collapsed repeats always hit
+    hits_grouped[keep] = (sd >= 0) & (sd < ways)
+    if order is None:
+        hits_combined = hits_grouped
+    else:
+        hits_combined = np.empty(n, dtype=bool)
+        hits_combined[order] = hits_grouped
+    hits = hits_combined[n_warm:]
+    misses = int(len(lines) - hits.sum())
+
+    # Final state: distinct lines ranked by last touch.  Positions in the
+    # set-grouped trace are contiguous per set, so sorting the last-touch
+    # positions groups residents by set with ascending recency inside.
+    is_last = np.empty(m, dtype=bool)
+    np.logical_not(same, out=is_last[:-1])
+    is_last[-1] = True
+    distinct = lsorted[is_last]
+    by_recency = np.argsort(lorder[is_last])
+    resident_lines = distinct[by_recency]
+    resident_sets = resident_lines % n_sets
+    keep_state = _trailing_per_group(resident_sets, ways)
+    state_sets = resident_sets[keep_state]
+    state_lines = resident_lines[keep_state]
+    # Occupancy conservation: every miss inserts one line, every eviction
+    # removes one, warm lines were all resident (no prefix evictions).
+    evictions = n_warm + misses - len(state_lines)
+    return LRUSimOutcome(
+        hits=hits,
+        evictions=int(evictions),
+        state_sets=state_sets,
+        state_lines=state_lines,
+    )

@@ -34,24 +34,35 @@ class LevelStats:
 
 
 class CacheHierarchy:
-    """A stack of set-associative levels with filtered access propagation."""
+    """A stack of set-associative levels with filtered access propagation.
 
-    def __init__(self, levels: Sequence[CacheLevelSpec]) -> None:
+    ``backend`` selects the replay engine of every level (``"vector"`` —
+    the offline sort-based engine — or ``"reference"``, the per-access
+    oracle loop); results are bit-identical either way.
+    """
+
+    def __init__(
+        self, levels: Sequence[CacheLevelSpec], *, backend: str = "vector"
+    ) -> None:
         if not levels:
             raise ValueError("hierarchy needs at least one level")
         self.caches: List[SetAssociativeCache] = [
-            SetAssociativeCache(spec) for spec in levels
+            SetAssociativeCache(spec, backend=backend) for spec in levels
         ]
 
     @classmethod
-    def for_machine(cls, machine: MachineModel) -> "CacheHierarchy":
+    def for_machine(
+        cls, machine: MachineModel, *, backend: str = "vector"
+    ) -> "CacheHierarchy":
         """Hierarchy with the machine's full level stack."""
-        return cls(machine.cache_levels)
+        return cls(machine.cache_levels, backend=backend)
 
     @classmethod
-    def l1_only(cls, machine: MachineModel) -> "CacheHierarchy":
+    def l1_only(
+        cls, machine: MachineModel, *, backend: str = "vector"
+    ) -> "CacheHierarchy":
         """Hierarchy truncated to the L1 level (the paper's Figure 3 metric)."""
-        return cls(machine.cache_levels[:1])
+        return cls(machine.cache_levels[:1], backend=backend)
 
     def reset(self) -> None:
         for c in self.caches:

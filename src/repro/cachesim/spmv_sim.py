@@ -86,6 +86,7 @@ def simulate_spmv(
     placement: Optional[ArrayPlacement] = None,
     include_streams: bool = True,
     l1_only: bool = True,
+    backend: str = "vector",
 ) -> SpMVSimResult:
     """Simulate one ``y = A x`` pass and report miss statistics.
 
@@ -104,12 +105,15 @@ def simulate_spmv(
     l1_only:
         Simulate only the L1 (fast, and all the paper's Figure 3 needs);
         ``False`` simulates the full hierarchy for memory-traffic numbers.
+    backend:
+        Cache replay engine: ``"vector"`` (offline sort-based engine) or
+        ``"reference"`` (per-access oracle loop); bit-identical results.
     """
     placement = placement or ArrayPlacement.aligned(machine.line_bytes)
     trace = spmv_trace(pattern, placement, include_streams=include_streams)
     hierarchy = (
-        CacheHierarchy.l1_only(machine) if l1_only
-        else CacheHierarchy.for_machine(machine)
+        CacheHierarchy.l1_only(machine, backend=backend) if l1_only
+        else CacheHierarchy.for_machine(machine, backend=backend)
     )
     return _run(trace, hierarchy, pattern.nnz)
 
@@ -123,6 +127,7 @@ def simulate_fsai_application(
     include_streams: bool = True,
     l1_only: bool = True,
     repetitions: int = 1,
+    backend: str = "vector",
 ) -> SpMVSimResult:
     """Simulate the preconditioner application ``G^T (G p)``.
 
@@ -143,8 +148,8 @@ def simulate_fsai_application(
             reps = reps.concat(trace)
         trace = reps
     hierarchy = (
-        CacheHierarchy.l1_only(machine) if l1_only
-        else CacheHierarchy.for_machine(machine)
+        CacheHierarchy.l1_only(machine, backend=backend) if l1_only
+        else CacheHierarchy.for_machine(machine, backend=backend)
     )
     nnz = (g_pattern.nnz + gt.nnz) // 2  # normalise by nnz(G) as the paper does
     return _run(trace, hierarchy, nnz * repetitions)

@@ -13,28 +13,34 @@ large distances.  It also cross-validates the set-associative simulator
 (for high associativity the two must agree closely; exact equality for the
 fully-associative case is asserted in tests).
 
-Implementation: ordered set via a Fenwick (binary-indexed) tree over access
-timestamps — the textbook O(N log N) algorithm, vectorised where possible.
+Two backends, bit-identical:
+
+* ``"vector"`` (default) — the offline sort/merge-count engine of
+  :mod:`repro.cachesim.engine` (O(log N) vectorized passes);
+* ``"reference"`` — the textbook Fenwick (binary-indexed) tree over access
+  timestamps, kept as the per-access oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
-from repro._typing import IndexArray
+from repro.cachesim.engine import stack_distances_vectorized
 
 __all__ = ["StackDistanceProfile", "stack_distances", "profile_stack_distances"]
 
 
-def stack_distances(lines: Sequence[int]) -> np.ndarray:
+def stack_distances(lines: Sequence[int], *, backend: str = "vector") -> np.ndarray:
     """Stack distance of every access in the line-id stream.
 
     Returns an int64 array; first touches get ``-1`` (infinite distance).
     """
     lines = np.asarray(lines, dtype=np.int64)
+    if backend != "reference":
+        return stack_distances_vectorized(lines)
     n = len(lines)
     out = np.empty(n, dtype=np.int64)
     if n == 0:
@@ -111,7 +117,9 @@ class StackDistanceProfile:
         return float(np.median(finite)) if len(finite) else 0.0
 
 
-def profile_stack_distances(lines: Sequence[int]) -> StackDistanceProfile:
+def profile_stack_distances(
+    lines: Sequence[int], *, backend: str = "vector"
+) -> StackDistanceProfile:
     """Profile a line-id stream (e.g. ``TraceResult.lines``)."""
-    d = stack_distances(lines)
+    d = stack_distances(lines, backend=backend)
     return StackDistanceProfile(distances=d, n_accesses=len(d))

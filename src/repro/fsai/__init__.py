@@ -24,7 +24,14 @@ Modules
 """
 
 from repro.fsai.patterns import fsai_initial_pattern
-from repro.fsai.frobenius import compute_g, precalculate_g, setup_flops_direct
+from repro.fsai.frobenius import (
+    FSAI_BACKENDS,
+    LocalSystemBucket,
+    compute_g,
+    gather_local_systems_bucketed,
+    precalculate_g,
+    setup_flops_direct,
+)
 from repro.fsai.fillin import extend_pattern_cache_friendly, extension_entries
 from repro.fsai.filtering import (
     filter_extension_by_precalc,
@@ -43,7 +50,10 @@ from repro.fsai.extended import (
 
 __all__ = [
     "fsai_initial_pattern",
+    "FSAI_BACKENDS",
+    "LocalSystemBucket",
     "compute_g",
+    "gather_local_systems_bucketed",
     "precalculate_g",
     "setup_flops_direct",
     "extend_pattern_cache_friendly",

@@ -22,28 +22,44 @@ Two computation modes:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np
 
-from repro._typing import FloatArray
-from repro.errors import NotSPDError, PatternError, ShapeError
-from repro.solvers.direct import solve_spd_batched
+from repro._typing import FloatArray, IndexArray
+from repro.errors import ConfigurationError, NotSPDError, PatternError, ShapeError
+from repro.solvers.direct import solve_spd_batched, solve_spd_stacked
 from repro.solvers.local_cg import (
     DEFAULT_PRECALC_ITERATIONS,
     DEFAULT_PRECALC_RTOL,
     solve_spd_approximate_batched,
+    solve_spd_approximate_stacked,
 )
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.pattern import Pattern
 
 __all__ = [
+    "FSAI_BACKENDS",
+    "LocalSystemBucket",
     "gather_local_systems",
+    "gather_local_systems_bucketed",
     "compute_g",
     "precalculate_g",
     "setup_flops_direct",
     "setup_flops_precalc",
 ]
+
+#: Recognised ``backend=`` values for the FSAI setup.
+FSAI_BACKENDS = ("bucketed", "reference")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in FSAI_BACKENDS:
+        raise ConfigurationError(
+            f"unknown FSAI setup backend {backend!r}; expected one of {FSAI_BACKENDS}"
+        )
+    return backend
 
 
 def _check_pattern(a: CSRMatrix, pattern: Pattern) -> None:
@@ -78,6 +94,69 @@ def gather_local_systems(a: CSRMatrix, pattern: Pattern):
     return systems, rhs
 
 
+@dataclass(frozen=True)
+class LocalSystemBucket:
+    """All local systems of one row-length class, stacked for batched LAPACK.
+
+    ``systems[j]`` is ``A[S_i, S_i]`` for ``i = rows[j]``; ``rhs[j]`` is the
+    matching ``e_i|_{S_i}`` (unit in the last, i.e. diagonal, position).
+    """
+
+    size: int
+    rows: IndexArray          # pattern rows of this bucket, ascending
+    systems: np.ndarray       # (len(rows), size, size)
+    rhs: np.ndarray           # (len(rows), size)
+
+
+def _check_diagonals(pattern: Pattern) -> IndexArray:
+    """Validate that every row ends in its diagonal; returns row lengths."""
+    lengths = np.diff(pattern.indptr)
+    last = np.full(pattern.n_rows, -1, dtype=np.int64)
+    nonempty = lengths > 0
+    last[nonempty] = pattern.indices[pattern.indptr[1:][nonempty] - 1]
+    bad = last != np.arange(pattern.n_rows)
+    if bad.any():
+        i = int(np.flatnonzero(bad)[0])
+        raise PatternError(f"row {i} of FSAI pattern must contain the diagonal")
+    return lengths
+
+
+def gather_local_systems_bucketed(
+    a: CSRMatrix, pattern: Pattern
+) -> List[LocalSystemBucket]:
+    """Extract all local systems at once, bucketed by row length.
+
+    Rows of equal pattern length ``k`` share one vectorised gather: their
+    column sets stack into an ``(m, k)`` block, the ``(m, k, k)`` index grid
+    ``(S[:, :, None], S[:, None, :])`` addresses every entry of every local
+    system, and one :meth:`~repro.sparse.csr.CSRMatrix.gather_entries`
+    lookup materialises the whole bucket.  Buckets appear in
+    first-occurrence order of their size — the same order the per-row
+    gather feeds :func:`~repro.solvers.direct.solve_spd_batched` — and rows
+    ascend within each bucket, so downstream solves see byte-identical
+    stacked inputs.
+    """
+    lengths = _check_diagonals(pattern)
+    sizes, first_at = np.unique(lengths, return_index=True)
+    buckets: List[LocalSystemBucket] = []
+    for k in sizes[np.argsort(first_at)]:
+        k = int(k)
+        rows = np.flatnonzero(lengths == k)
+        starts = pattern.indptr[rows]
+        cols = pattern.indices[starts[:, None] + np.arange(k)]  # (m, k)
+        shape = (len(rows), k, k)
+        systems = a.gather_entries(
+            np.broadcast_to(cols[:, :, None], shape),
+            np.broadcast_to(cols[:, None, :], shape),
+        )
+        rhs = np.zeros((len(rows), k))
+        rhs[:, -1] = 1.0
+        buckets.append(
+            LocalSystemBucket(size=k, rows=rows, systems=systems, rhs=rhs)
+        )
+    return buckets
+
+
 def _assemble_g(pattern: Pattern, solutions: List[FloatArray]) -> CSRMatrix:
     """Normalise per-row solutions and assemble the CSR ``G``."""
     data = np.empty(pattern.nnz)
@@ -93,16 +172,53 @@ def _assemble_g(pattern: Pattern, solutions: List[FloatArray]) -> CSRMatrix:
     return CSRMatrix.from_pattern(pattern, data)
 
 
-def compute_g(a: CSRMatrix, pattern: Pattern) -> CSRMatrix:
+def _scatter_rows(
+    data: FloatArray, pattern: Pattern, bucket: LocalSystemBucket,
+    values: np.ndarray,
+) -> None:
+    """Write per-row value blocks of one bucket into the CSR data array."""
+    positions = pattern.indptr[bucket.rows][:, None] + np.arange(bucket.size)
+    data[positions] = values
+
+
+def compute_g(
+    a: CSRMatrix, pattern: Pattern, *, backend: str = "bucketed"
+) -> CSRMatrix:
     """Exact Frobenius-minimal ``G`` on ``pattern`` (batched direct solves).
 
     The result satisfies ``diag(G A G^T) = 1`` exactly (up to roundoff);
     :mod:`tests.fsai` asserts this invariant.
+
+    ``backend="bucketed"`` (default) gathers and solves whole row-length
+    buckets with vectorised CSR indexing; ``backend="reference"`` is the
+    original per-row ``submatrix`` loop.  Both produce bit-identical ``G``
+    values — the stacked LAPACK inputs are byte-identical — which the
+    property tests assert over the generator collection.
     """
     _check_pattern(a, pattern)
-    systems, rhs = gather_local_systems(a, pattern)
-    solutions = solve_spd_batched(systems, rhs)
-    return _assemble_g(pattern, solutions)
+    if _check_backend(backend) == "reference":
+        systems, rhs = gather_local_systems(a, pattern)
+        solutions = solve_spd_batched(systems, rhs)
+        return _assemble_g(pattern, solutions)
+    buckets = gather_local_systems_bucketed(a, pattern)
+    solved = [
+        (b, solve_spd_stacked(b.systems, b.rhs, system_ids=b.rows))
+        for b in buckets
+    ]
+    pivots = np.empty(pattern.n_rows)
+    for b, sol in solved:
+        pivots[b.rows] = sol[:, -1]
+    bad = ~((pivots > 0) & np.isfinite(pivots))
+    if bad.any():
+        i = int(np.flatnonzero(bad)[0])
+        raise NotSPDError(
+            f"row {i}: non-positive diagonal solution {pivots[i]:.3e} "
+            "(matrix restriction not SPD)"
+        )
+    data = np.empty(pattern.nnz)
+    for b, sol in solved:
+        _scatter_rows(data, pattern, b, sol / np.sqrt(sol[:, -1])[:, None])
+    return CSRMatrix.from_pattern(pattern, data)
 
 
 def precalculate_g(
@@ -111,6 +227,7 @@ def precalculate_g(
     *,
     rtol: float = DEFAULT_PRECALC_RTOL,
     max_iterations: int = DEFAULT_PRECALC_ITERATIONS,
+    backend: str = "bucketed",
 ) -> CSRMatrix:
     """Approximate ``G`` via truncated CG on the local systems (§5).
 
@@ -120,23 +237,47 @@ def precalculate_g(
     guess (``1/sqrt(a_ii)`` on the diagonal, zeros elsewhere) — the filter
     then simply keeps that row's extension decisions conservative rather
     than aborting setup.
+
+    ``backend`` selects the bucketed gather (default) or the per-row
+    reference loop, exactly as in :func:`compute_g`; values are
+    bit-identical either way.
     """
     _check_pattern(a, pattern)
-    systems, rhs = gather_local_systems(a, pattern)
-    solutions = solve_spd_approximate_batched(
-        systems, rhs, rtol=rtol, max_iterations=max_iterations
-    )
+    if _check_backend(backend) == "reference":
+        systems, rhs = gather_local_systems(a, pattern)
+        solutions = solve_spd_approximate_batched(
+            systems, rhs, rtol=rtol, max_iterations=max_iterations
+        )
+        diag = a.diagonal()
+        data = np.empty(pattern.nnz)
+        for i, sol in enumerate(solutions):
+            lo, hi = pattern.indptr[i], pattern.indptr[i + 1]
+            pivot = sol[-1]
+            if pivot <= 0 or not np.isfinite(pivot):
+                fallback = np.zeros(hi - lo)
+                fallback[-1] = 1.0 / np.sqrt(diag[i]) if diag[i] > 0 else 1.0
+                data[lo:hi] = fallback
+            else:
+                data[lo:hi] = sol / np.sqrt(pivot)
+        return CSRMatrix.from_pattern(pattern, data)
+    buckets = gather_local_systems_bucketed(a, pattern)
     diag = a.diagonal()
     data = np.empty(pattern.nnz)
-    for i, sol in enumerate(solutions):
-        lo, hi = pattern.indptr[i], pattern.indptr[i + 1]
-        pivot = sol[-1]
-        if pivot <= 0 or not np.isfinite(pivot):
-            fallback = np.zeros(hi - lo)
-            fallback[-1] = 1.0 / np.sqrt(diag[i]) if diag[i] > 0 else 1.0
-            data[lo:hi] = fallback
-        else:
-            data[lo:hi] = sol / np.sqrt(pivot)
+    for b in buckets:
+        sol = solve_spd_approximate_stacked(
+            b.systems, b.rhs, rtol=rtol, max_iterations=max_iterations
+        )
+        pivot = sol[:, -1]
+        good = (pivot > 0) & np.isfinite(pivot)
+        values = np.zeros_like(sol)
+        values[good] = sol[good] / np.sqrt(pivot[good])[:, None]
+        if not good.all():
+            fb_diag = diag[b.rows[~good]]
+            fb = np.ones(len(fb_diag))
+            positive = fb_diag > 0
+            fb[positive] = 1.0 / np.sqrt(fb_diag[positive])
+            values[~good, -1] = fb
+        _scatter_rows(data, pattern, b, values)
     return CSRMatrix.from_pattern(pattern, data)
 
 

@@ -41,12 +41,21 @@ class FSAIApplication:
         if self.gt.shape != g.shape:
             raise ShapeError("G^T shape mismatch")
         self.n = g.n_rows
+        # Lazily-allocated SpMV gather scratch shared by both factors (they
+        # have equal nnz when gt is a true transpose, but not necessarily for
+        # FSAIE(full), hence the max).
+        self._scratch: Optional[np.ndarray] = None
 
     def apply(self, r: FloatArray) -> FloatArray:
         """``z = G^T (G r)`` — two row-order CSR SpMVs."""
         if r.shape != (self.n,):
             raise ShapeError(f"expected vector of length {self.n}")
-        return self.gt.matvec(self.g.matvec(r))
+        if self._scratch is None:
+            self._scratch = np.empty(max(self.g.nnz, self.gt.nnz))
+        return self.gt.matvec(
+            self.g.matvec(r, scratch=self._scratch[: self.g.nnz]),
+            scratch=self._scratch[: self.gt.nnz],
+        )
 
     def flops_per_application(self) -> int:
         """2 flops per stored entry and product."""

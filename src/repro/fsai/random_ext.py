@@ -34,33 +34,66 @@ def extend_pattern_random(
     count receive all free columns (the shortfall is reported by comparing
     nnz — experiment code logs it; in practice FE-like rows never saturate).
     """
-    if len(n_new_per_row) != base.n_rows:
+    counts = np.asarray(n_new_per_row, dtype=np.int64)
+    if len(counts) != base.n_rows:
         raise ShapeError("n_new_per_row must have one entry per row")
-    if np.any(np.asarray(n_new_per_row) < 0):
+    if np.any(counts < 0):
         raise ValueError("requested extension counts must be non-negative")
+    base_rows, base_cols = base.coo()
+
+    # Admissible column window per requesting row (``want > 0``).
+    req = np.flatnonzero(counts > 0)
+    if triangular == "lower":
+        lo, hi = np.zeros(len(req), dtype=np.int64), req + 1
+    elif triangular == "upper":
+        lo, hi = req.copy(), np.full(len(req), base.n_cols, dtype=np.int64)
+    else:
+        lo = np.zeros(len(req), dtype=np.int64)
+        hi = np.full(len(req), base.n_cols, dtype=np.int64)
+
+    # Flatten every admissible (row, col) candidate pair, then drop the ones
+    # already present via one searchsorted against the pattern's row-major
+    # keys (CSR order makes them sorted).
+    n_adm = hi - lo
+    offsets = np.concatenate(([0], np.cumsum(n_adm)))
+    cand_row = np.repeat(req, n_adm)
+    cand_col = (
+        np.arange(offsets[-1], dtype=np.int64)
+        - np.repeat(offsets[:-1], n_adm)
+        + np.repeat(lo, n_adm)
+    )
+    n_cols = np.int64(base.n_cols)
+    base_keys = base_rows * n_cols + base_cols
+    cand_keys = cand_row * n_cols + cand_col
+    pos = np.searchsorted(base_keys, cand_keys)
+    pos_c = np.minimum(pos, max(len(base_keys) - 1, 0))
+    present = (
+        (base_keys[pos_c] == cand_keys) if len(base_keys) else
+        np.zeros(len(cand_keys), dtype=bool)
+    )
+    free_row = cand_row[~present]
+    free_col = cand_col[~present]
+
+    # One batched draw: a uniform key per free candidate; sorting the keys
+    # within each row and keeping the first ``want`` is a uniform sample
+    # without replacement for every row simultaneously.
     rng = np.random.default_rng(seed)
-    rows_out = [base.coo()[0]]
-    cols_out = [base.coo()[1]]
-    for i in range(base.n_rows):
-        want = int(n_new_per_row[i])
-        if want == 0:
-            continue
-        if triangular == "lower":
-            lo, hi = 0, i + 1
-        elif triangular == "upper":
-            lo, hi = i, base.n_cols
-        else:
-            lo, hi = 0, base.n_cols
-        admissible = np.arange(lo, hi, dtype=np.int64)
-        present = base.row(i)
-        free = np.setdiff1d(admissible, present, assume_unique=True)
-        if len(free) == 0:
-            continue
-        take = min(want, len(free))
-        chosen = rng.choice(free, size=take, replace=False)
-        rows_out.append(np.full(take, i, dtype=np.int64))
-        cols_out.append(np.sort(chosen))
+    draw = rng.random(len(free_row))
+    order = np.lexsort((draw, free_row))
+    fr = free_row[order]
+    fc = free_col[order]
+    if len(fr):
+        is_start = np.concatenate(([True], fr[1:] != fr[:-1]))
+        starts = np.flatnonzero(is_start)
+        group = np.cumsum(is_start) - 1
+        rank = np.arange(len(fr)) - starts[group]
+        keep = rank < counts[fr]
+        new_rows, new_cols = fr[keep], fc[keep]
+    else:
+        new_rows = new_cols = np.empty(0, dtype=np.int64)
+
     return Pattern.from_coo(
         base.n_rows, base.n_cols,
-        np.concatenate(rows_out), np.concatenate(cols_out),
+        np.concatenate([base_rows, new_rows]),
+        np.concatenate([base_cols, new_cols]),
     )

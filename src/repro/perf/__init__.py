@@ -19,9 +19,12 @@ from repro.perf.metrics import (
     ImprovementStats,
     summarize_improvements,
 )
+from repro.perf.regression import RegressionComponent, RegressionRecord
 from repro.perf.timer import min_over_repetitions
 
 __all__ = [
+    "RegressionComponent",
+    "RegressionRecord",
     "CostModel",
     "KernelCost",
     "IterationCost",

@@ -1,0 +1,133 @@
+"""Performance-regression records for the implementation's own hot paths.
+
+The vectorized simulation engine and the bucketed FSAI setup replace exact
+reference implementations; the speedup is an implementation claim that must
+stay true as the code evolves.  A :class:`RegressionRecord` captures one
+reference-vs-optimized timing comparison — per-component and composite — in
+a stable JSON shape (``BENCH_engine.json`` at the repository root) that CI
+and later sessions can diff.
+
+Timings use :func:`repro.perf.timer.min_over_repetitions` semantics upstream
+(minimum over repetitions, §7.1 style); this module only aggregates and
+serialises.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+__all__ = ["RegressionComponent", "RegressionRecord"]
+
+
+def _speedup(reference_seconds: float, optimized_seconds: float) -> float:
+    if optimized_seconds <= 0.0:
+        return float("inf") if reference_seconds > 0.0 else 1.0
+    return reference_seconds / optimized_seconds
+
+
+@dataclass(frozen=True)
+class RegressionComponent:
+    """One timed reference-vs-optimized pair (e.g. ``stack_distances``)."""
+
+    name: str
+    reference_seconds: float
+    optimized_seconds: float
+    detail: str = ""
+
+    @property
+    def speedup(self) -> float:
+        return _speedup(self.reference_seconds, self.optimized_seconds)
+
+    def to_dict(self) -> Dict[str, Union[str, float]]:
+        return {
+            "name": self.name,
+            "reference_seconds": self.reference_seconds,
+            "optimized_seconds": self.optimized_seconds,
+            "speedup": self.speedup,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class RegressionRecord:
+    """Composite regression record over several components.
+
+    ``scope`` documents the workload (e.g. ``"quick campaign, 12 cases"``)
+    so a quick-mode record is never compared against a full-mode one.
+    """
+
+    label: str
+    scope: str
+    components: List[RegressionComponent] = field(default_factory=list)
+
+    @property
+    def reference_total(self) -> float:
+        return sum(c.reference_seconds for c in self.components)
+
+    @property
+    def optimized_total(self) -> float:
+        return sum(c.optimized_seconds for c in self.components)
+
+    @property
+    def speedup(self) -> float:
+        return _speedup(self.reference_total, self.optimized_total)
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "scope": self.scope,
+            "environment": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "machine": platform.machine(),
+            },
+            "components": [c.to_dict() for c in self.components],
+            "reference_total_seconds": self.reference_total,
+            "optimized_total_seconds": self.optimized_total,
+            "speedup": self.speedup,
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Serialise to ``path`` as indented JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RegressionRecord":
+        return cls(
+            label=payload["label"],
+            scope=payload["scope"],
+            components=[
+                RegressionComponent(
+                    name=c["name"],
+                    reference_seconds=c["reference_seconds"],
+                    optimized_seconds=c["optimized_seconds"],
+                    detail=c.get("detail", ""),
+                )
+                for c in payload["components"]
+            ],
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RegressionRecord":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def summary_lines(self) -> Sequence[str]:
+        """Human-readable table for bench output."""
+        rows = [
+            f"{c.name:<18} ref {c.reference_seconds * 1e3:8.1f} ms   "
+            f"opt {c.optimized_seconds * 1e3:8.1f} ms   {c.speedup:6.2f}x"
+            for c in self.components
+        ]
+        rows.append(
+            f"{'TOTAL':<18} ref {self.reference_total * 1e3:8.1f} ms   "
+            f"opt {self.optimized_total * 1e3:8.1f} ms   {self.speedup:6.2f}x"
+        )
+        return rows

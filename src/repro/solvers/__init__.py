@@ -19,9 +19,13 @@ from repro.solvers.direct import (
     solve_lower_triangular,
     solve_upper_triangular,
     solve_spd,
+    solve_spd_stacked,
     solve_spd_batched,
 )
-from repro.solvers.local_cg import solve_spd_approximate
+from repro.solvers.local_cg import (
+    solve_spd_approximate,
+    solve_spd_approximate_stacked,
+)
 from repro.solvers.sptrsv import (
     level_schedule_stats,
     level_sets,
@@ -44,8 +48,10 @@ __all__ = [
     "solve_lower_triangular",
     "solve_upper_triangular",
     "solve_spd",
+    "solve_spd_stacked",
     "solve_spd_batched",
     "solve_spd_approximate",
+    "solve_spd_approximate_stacked",
     "sparse_forward_substitution",
     "sparse_backward_substitution",
     "level_sets",

@@ -16,7 +16,7 @@ two additions:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "solve_lower_triangular",
     "solve_upper_triangular",
     "solve_spd",
+    "solve_spd_stacked",
     "solve_spd_batched",
 ]
 
@@ -109,6 +110,48 @@ def solve_spd(a: np.ndarray, b: FloatArray) -> FloatArray:
     return np.linalg.solve(L.T, y)
 
 
+def solve_spd_stacked(
+    stacked_a: np.ndarray,
+    stacked_b: np.ndarray,
+    *,
+    system_ids: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Solve a ``(m, k, k)`` stack of SPD systems in one batched LAPACK call.
+
+    This is the per-bucket kernel shared by :func:`solve_spd_batched` and
+    the bucketed FSAI setup: the batched Cholesky screens for
+    indefiniteness exactly as the one-at-a-time path would, and on failure
+    the systems are re-factorised singly to name the first culprit —
+    ``system_ids`` supplies the caller's numbering (e.g. pattern row ids)
+    for that message.
+    """
+    stacked_a = np.asarray(stacked_a, dtype=np.float64)
+    stacked_b = np.asarray(stacked_b, dtype=np.float64)
+    if stacked_a.ndim != 3 or stacked_a.shape[1] != stacked_a.shape[2]:
+        raise ShapeError(f"expected (m, k, k) stack, got {stacked_a.shape}")
+    m, k = stacked_a.shape[:2]
+    if stacked_b.shape != (m, k):
+        raise ShapeError(
+            f"rhs stack {stacked_b.shape} does not match systems {stacked_a.shape}"
+        )
+    if m == 0 or k == 0:
+        return np.empty((m, k))
+    try:
+        np.linalg.cholesky(stacked_a)
+        return np.linalg.solve(stacked_a, stacked_b[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        # Re-run singly to name the culprit.
+        for slot in range(m):
+            try:
+                np.linalg.cholesky(stacked_a[slot])
+            except np.linalg.LinAlgError as exc:
+                i = slot if system_ids is None else system_ids[slot]
+                raise NotSPDError(
+                    f"local system {i} (size {k}) is not SPD"
+                ) from exc
+        raise
+
+
 def solve_spd_batched(
     systems: Sequence[np.ndarray], rhs: Sequence[FloatArray]
 ) -> List[FloatArray]:
@@ -138,22 +181,8 @@ def solve_spd_batched(
                 out[i] = np.empty(0)
             continue
         stacked_a = np.stack([systems[i] for i in idxs])
-        stacked_b = np.stack([rhs[i] for i in idxs])[..., None]
-        try:
-            # Batched Cholesky catches indefiniteness exactly as the
-            # one-at-a-time path would.
-            np.linalg.cholesky(stacked_a)
-            solutions = np.linalg.solve(stacked_a, stacked_b)[..., 0]
-        except np.linalg.LinAlgError:
-            # Re-run singly to name the culprit.
-            for i in idxs:
-                try:
-                    np.linalg.cholesky(systems[i])
-                except np.linalg.LinAlgError as exc:
-                    raise NotSPDError(
-                        f"local system {i} (size {k}) is not SPD"
-                    ) from exc
-            raise
+        stacked_b = np.stack([rhs[i] for i in idxs])
+        solutions = solve_spd_stacked(stacked_a, stacked_b, system_ids=idxs)
         for slot, i in enumerate(idxs):
             out[i] = solutions[slot]
     return out

@@ -17,7 +17,11 @@ import numpy as np
 from repro._typing import FloatArray
 from repro.errors import ShapeError
 
-__all__ = ["solve_spd_approximate", "solve_spd_approximate_batched"]
+__all__ = [
+    "solve_spd_approximate",
+    "solve_spd_approximate_stacked",
+    "solve_spd_approximate_batched",
+]
 
 #: Loose defaults matching the paper's intent: a handful of iterations at a
 #: tolerance that discriminates magnitudes, not digits.
@@ -68,6 +72,59 @@ def solve_spd_approximate(
     return x
 
 
+def solve_spd_approximate_stacked(
+    stacked_a: np.ndarray,
+    stacked_b: np.ndarray,
+    *,
+    rtol: float = DEFAULT_PRECALC_RTOL,
+    max_iterations: int = DEFAULT_PRECALC_ITERATIONS,
+) -> np.ndarray:
+    """Truncated CG over a ``(m, k, k)`` stack of equal-size systems.
+
+    All systems advance in lockstep: the per-iteration matvec is a single
+    stacked ``einsum`` over the whole stack, and systems that have
+    individually converged are masked out of further updates.  This is the
+    per-bucket kernel of :func:`solve_spd_approximate_batched` and of the
+    bucketed FSAI precalculation.
+    """
+    A = np.asarray(stacked_a, dtype=np.float64)
+    B = np.asarray(stacked_b, dtype=np.float64)
+    if A.ndim != 3 or A.shape[1] != A.shape[2]:
+        raise ShapeError(f"expected (m, k, k) stack, got {A.shape}")
+    m, k = A.shape[:2]
+    if B.shape != (m, k):
+        raise ShapeError(f"rhs stack {B.shape} does not match systems {A.shape}")
+    X = np.zeros((m, k))
+    if m == 0 or k == 0:
+        return X
+    R = B.copy()
+    norm0 = np.linalg.norm(R, axis=1)
+    active = norm0 > 0
+    D = R.copy()
+    rho = np.einsum("ij,ij->i", R, R)
+    for _ in range(max_iterations):
+        if not active.any():
+            break
+        Q = np.einsum("ijk,ik->ij", A, D)
+        dq = np.einsum("ij,ij->i", D, Q)
+        ok = active & (dq > 0)
+        if not ok.any():
+            break
+        alpha = np.zeros(m)
+        alpha[ok] = rho[ok] / dq[ok]
+        X += alpha[:, None] * D
+        R -= alpha[:, None] * Q
+        res = np.linalg.norm(R, axis=1)
+        active = ok & (res > rtol * norm0)
+        rho_new = np.einsum("ij,ij->i", R, R)
+        beta = np.zeros(m)
+        nz = rho > 0
+        beta[nz] = rho_new[nz] / rho[nz]
+        D = R + beta[:, None] * D
+        rho = rho_new
+    return X
+
+
 def solve_spd_approximate_batched(
     systems: Sequence[np.ndarray],
     rhs: Sequence[FloatArray],
@@ -77,10 +134,9 @@ def solve_spd_approximate_batched(
 ) -> List[FloatArray]:
     """Truncated CG over many small systems, batched by size.
 
-    Systems of equal dimension advance together: the per-iteration matvec is
-    a single stacked ``einsum`` over the whole bucket, and systems that have
-    individually converged are masked out of further updates.  Result order
-    matches input order.
+    Each equal-dimension bucket is stacked and advanced in lockstep by
+    :func:`solve_spd_approximate_stacked`.  Result order matches input
+    order.
     """
     if len(systems) != len(rhs):
         raise ShapeError("systems/rhs length mismatch")
@@ -99,33 +155,9 @@ def solve_spd_approximate_batched(
             continue
         A = np.stack([systems[i] for i in idxs])          # (m, k, k)
         B = np.stack([rhs[i] for i in idxs])              # (m, k)
-        m = len(idxs)
-        X = np.zeros((m, k))
-        R = B.copy()
-        norm0 = np.linalg.norm(R, axis=1)
-        active = norm0 > 0
-        D = R.copy()
-        rho = np.einsum("ij,ij->i", R, R)
-        for _ in range(max_iterations):
-            if not active.any():
-                break
-            Q = np.einsum("ijk,ik->ij", A, D)
-            dq = np.einsum("ij,ij->i", D, Q)
-            ok = active & (dq > 0)
-            if not ok.any():
-                break
-            alpha = np.zeros(m)
-            alpha[ok] = rho[ok] / dq[ok]
-            X += alpha[:, None] * D
-            R -= alpha[:, None] * Q
-            res = np.linalg.norm(R, axis=1)
-            active = ok & (res > rtol * norm0)
-            rho_new = np.einsum("ij,ij->i", R, R)
-            beta = np.zeros(m)
-            nz = rho > 0
-            beta[nz] = rho_new[nz] / rho[nz]
-            D = R + beta[:, None] * D
-            rho = rho_new
+        X = solve_spd_approximate_stacked(
+            A, B, rtol=rtol, max_iterations=max_iterations
+        )
         for slot, i in enumerate(idxs):
             out[i] = X[slot]
     return out

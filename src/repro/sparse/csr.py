@@ -43,7 +43,10 @@ class CSRMatrix:
         entries (FSAI patterns routinely carry them).
     """
 
-    __slots__ = ("n_rows", "n_cols", "indptr", "indices", "data", "_row_ids")
+    __slots__ = (
+        "n_rows", "n_cols", "indptr", "indices", "data", "_row_ids",
+        "_entry_keys",
+    )
 
     def __init__(
         self, n_rows: int, n_cols: int, indptr, indices, data, *,
@@ -61,6 +64,7 @@ class CSRMatrix:
                 f"data has {len(self.data)} entries, indices has {len(self.indices)}"
             )
         self._row_ids: Optional[IndexArray] = None  # lazy np.repeat expansion
+        self._entry_keys: Optional[IndexArray] = None  # lazy row-major keys
 
     # ------------------------------------------------------------------
     # Structure
@@ -94,34 +98,69 @@ class CSRMatrix:
         lo, hi = self.indptr[i], self.indptr[i + 1]
         return self.indices[lo:hi], self.data[lo:hi]
 
+    def entry_keys(self) -> IndexArray:
+        """Row-major key ``row * n_cols + col`` of every stored entry.
+
+        Sorted ascending by construction (rows ascend, columns are sorted
+        within each row), so :meth:`gather_entries` can binary-search it.
+        Cached like :meth:`row_ids`.
+        """
+        if self._entry_keys is None:
+            self._entry_keys = self.row_ids() * np.int64(self.n_cols) + self.indices
+        return self._entry_keys
+
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
-    def matvec(self, x: FloatArray, out: Optional[FloatArray] = None) -> FloatArray:
+    def _gather_product(
+        self, x: FloatArray, gather_ids: IndexArray,
+        scratch: Optional[FloatArray],
+    ) -> FloatArray:
+        """``data * x[gather_ids]``, into ``scratch`` when one is supplied."""
+        if scratch is None:
+            return self.data * x[gather_ids]
+        if scratch.shape != (self.nnz,):
+            raise ShapeError(
+                f"scratch has shape {scratch.shape}, expected ({self.nnz},)"
+            )
+        np.take(x, gather_ids, out=scratch)
+        np.multiply(scratch, self.data, out=scratch)
+        return scratch
+
+    def matvec(
+        self, x: FloatArray, out: Optional[FloatArray] = None,
+        *, scratch: Optional[FloatArray] = None,
+    ) -> FloatArray:
         """``y = A @ x`` — vectorised CSR SpMV.
 
-        ``out`` may be supplied to avoid an allocation; it is overwritten.
+        ``out`` may be supplied to receive the result.  ``scratch`` — an
+        ``nnz``-length float buffer — eliminates the per-call gather/product
+        allocation (``np.take``/``np.multiply`` with ``out=``), which is the
+        only allocation the CG hot loop would otherwise make per iteration.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n_cols,):
             raise ShapeError(f"x has shape {x.shape}, expected ({self.n_cols},)")
-        prod = self.data * x[self.indices]
+        prod = self._gather_product(x, self.indices, scratch)
         y = np.bincount(self.row_ids(), weights=prod, minlength=self.n_rows)
         if out is not None:
             out[:] = y
             return out
         return y
 
-    def rmatvec(self, x: FloatArray, out: Optional[FloatArray] = None) -> FloatArray:
+    def rmatvec(
+        self, x: FloatArray, out: Optional[FloatArray] = None,
+        *, scratch: Optional[FloatArray] = None,
+    ) -> FloatArray:
         """``y = A.T @ x`` without materialising the transpose.
 
         Scatter formulation: every stored entry ``(i, j, v)`` contributes
-        ``v * x[i]`` to ``y[j]``.
+        ``v * x[i]`` to ``y[j]``.  ``scratch`` works as in :meth:`matvec`.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n_rows,):
             raise ShapeError(f"x has shape {x.shape}, expected ({self.n_rows},)")
-        prod = self.data * x[self.row_ids()]
+        prod = self._gather_product(x, self.row_ids(), scratch)
         y = np.bincount(self.indices, weights=prod, minlength=self.n_cols)
         if out is not None:
             out[:] = y
@@ -198,6 +237,36 @@ class CSRMatrix:
             pos_ok = pos < len(cols)
             hit = pos_ok & (cols[np.minimum(pos, len(cols) - 1)] == row_cols)
             out[k, pos[hit]] = row_vals[hit]
+        return out
+
+    def gather_entries(self, rows: IndexArray, cols: IndexArray) -> np.ndarray:
+        """Values at positions ``(rows[j], cols[j])``; absent entries read 0.
+
+        ``rows`` and ``cols`` may have any (matching) shape — the bucketed
+        FSAI gather passes whole ``(batch, k, k)`` index blocks — and the
+        values come back in that shape.  One binary search over the cached
+        row-major :meth:`entry_keys` replaces the per-row searches of
+        :meth:`submatrix`, so extracting every local system of a pattern
+        bucket is a single vectorised lookup.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise ShapeError(f"rows shape {rows.shape} != cols shape {cols.shape}")
+        out = np.zeros(rows.shape)
+        if rows.size == 0:
+            return out
+        if (rows.min() < 0 or rows.max() >= self.n_rows
+                or cols.min() < 0 or cols.max() >= self.n_cols):
+            raise ShapeError("gather_entries index out of range")
+        keys = self.entry_keys()
+        if len(keys) == 0:
+            return out
+        query = rows * np.int64(self.n_cols) + cols
+        pos = np.searchsorted(keys, query)
+        pos_c = np.minimum(pos, len(keys) - 1)
+        hit = keys[pos_c] == query
+        out[hit] = self.data[pos_c[hit]]
         return out
 
     # ------------------------------------------------------------------
