@@ -12,7 +12,6 @@ from benchmarks.conftest import scope_note
 from repro.arch.address import ArrayPlacement
 from repro.collection.suite import get_case
 from repro.experiments.runner import make_rhs
-from repro.fsai.extended import setup_fsai
 from repro.fsai.fillin import extend_pattern_cache_friendly
 from repro.fsai.frobenius import compute_g
 from repro.fsai.patterns import fsai_initial_pattern
@@ -47,7 +46,7 @@ def test_ablation_sparse_level(benchmark, capsys):
         for level, tau, ext, nnz, iters in rows:
             print(f"{level:>3} {tau:>6g} {str(ext):>9} {nnz:>8} {iters:>6}")
 
-    by_key = {(l, t, e): (n, i) for l, t, e, n, i in rows}
+    by_key = {(lvl, t, e): (n, i) for lvl, t, e, n, i in rows}
     # Higher level => richer pattern => fewer (or equal) iterations.
     assert by_key[(2, 0.0, False)][1] <= by_key[(1, 0.0, False)][1]
     assert by_key[(2, 0.0, False)][0] > by_key[(1, 0.0, False)][0]

@@ -19,7 +19,6 @@ Components (each timed as min over repetitions, §7.1 style):
 
 from pathlib import Path
 
-import numpy as np
 
 from benchmarks.conftest import BENCH_CASE_IDS, scope_note
 from repro.arch.address import ArrayPlacement

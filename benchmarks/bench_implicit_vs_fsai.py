@@ -23,7 +23,6 @@ from repro.experiments.runner import make_rhs
 from repro.fsai.extended import setup_fsai
 from repro.solvers.cg import pcg
 from repro.solvers.ichol import IncompleteCholeskyPreconditioner
-from repro.solvers.sptrsv import level_schedule_stats
 
 CASE_IDS = (BENCH_CASE_IDS or tuple(range(1, 73)))[:6]
 

@@ -8,7 +8,6 @@ plateau, and nnz-balanced partitions beating row-balanced ones on skewed
 matrices.
 """
 
-import numpy as np
 
 from benchmarks.conftest import scope_note
 from repro.arch.presets import SKYLAKE

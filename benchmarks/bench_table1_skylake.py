@@ -4,7 +4,6 @@ The benchmark times the experiment unit underlying every Table 1 row — one
 matrix through the full method grid — and prints the regenerated table.
 """
 
-import pytest
 
 from benchmarks.conftest import scope_note
 from repro.collection.suite import get_case

@@ -4,7 +4,6 @@ Times the FSAIE(full) setup at the paper's best common filter and prints
 the full Table 2 sweep for both FSAIE(sp) and FSAIE(full).
 """
 
-import numpy as np
 
 from benchmarks.conftest import scope_note
 from repro.arch.address import ArrayPlacement

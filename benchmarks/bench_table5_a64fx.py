@@ -14,7 +14,7 @@ from repro.fsai.extended import setup_fsaie_full
 
 def test_table5_a64fx(a64fx_campaign, skylake_campaign, benchmark, capsys):
     a = get_case(41).build()
-    setup = benchmark.pedantic(
+    benchmark.pedantic(
         lambda: setup_fsaie_full(a, ArrayPlacement.aligned(256), filter_value=0.01),
         rounds=3, iterations=1,
     )

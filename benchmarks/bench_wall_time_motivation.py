@@ -21,7 +21,7 @@ from repro.arch.address import ArrayPlacement
 from repro.arch.presets import SKYLAKE
 from repro.cachesim.spmv_sim import simulate_fsai_application
 from repro.collection.suite import get_case
-from repro.fsai.extended import setup_fsai, setup_fsaie_full, setup_fsaie_random
+from repro.fsai.extended import setup_fsaie_full, setup_fsaie_random
 from repro.perf.costmodel import scale_caches
 from repro.perf.timer import min_over_repetitions
 

@@ -1,0 +1,17 @@
+"""Root conftest: make ``repro`` and the ``benchmarks``/``tests`` packages
+importable without any ``PYTHONPATH`` juggling.
+
+The canonical setup is an editable install (``pip install -e .[test]``),
+after which plain ``pytest`` works from the repo root.  This shim keeps a
+bare checkout working too — ``src`` (the package) and the repo root (the
+``benchmarks``/``tests`` helper packages) are prepended to ``sys.path``
+before collection starts.
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent
+for _p in (str(_ROOT), str(_ROOT / "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)

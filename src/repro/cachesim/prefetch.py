@@ -16,7 +16,7 @@ the latency-hiding the paper relies on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

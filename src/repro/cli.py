@@ -9,8 +9,14 @@ Examples
     repro-fsai table2 --machine a64fx    # = paper Table 5
     repro-fsai figure3 --quick
     repro-fsai report -o EXPERIMENTS.md  # full campaign, all machines
+    repro-fsai campaign --jobs 4 --timeout 300 --checkpoint-dir shards/
+    repro-fsai campaign --resume --checkpoint-dir shards/   # pick up where killed
 
-``python -m repro`` is an alias for the installed script.
+``python -m repro`` is an alias for the installed script.  ``campaign`` and
+``report`` accept ``--jobs/--timeout/--retries/--checkpoint-dir/--resume``
+and then run through the fault-tolerant orchestrator
+(``docs/campaign_orchestration.md``); both exit non-zero if any case
+ultimately fails.
 """
 
 from __future__ import annotations
@@ -24,7 +30,9 @@ from repro.arch.presets import MACHINES
 from repro.collection.generators.fem import wathen
 from repro.collection.export import export_suite
 from repro.collection.suite import get_case, suite72
+from repro.errors import CampaignIncompleteError
 from repro.experiments.campaign import QUICK_CASE_IDS, run_campaign
+from repro.experiments.orchestrator import run_campaign_parallel
 from repro.experiments.figures import (
     figure1,
     figure2_series,
@@ -57,7 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    def add(name: str, help_: str, machine: bool = True, quick: bool = True):
+    def add(name: str, help_: str, machine: bool = True, quick: bool = True,
+            parallel: bool = False):
         sp = sub.add_parser(name, help=help_)
         sp.add_argument(
             "-o", "--output", default=None,
@@ -76,6 +85,30 @@ def build_parser() -> argparse.ArgumentParser:
             sp.add_argument(
                 "--cases", type=int, nargs="*", default=None,
                 help="explicit Table 1 case ids to run",
+            )
+        if parallel:
+            sp.add_argument(
+                "--jobs", type=int, default=None, metavar="N",
+                help="worker processes for the orchestrator "
+                     "(default: one per CPU core)",
+            )
+            sp.add_argument(
+                "--timeout", type=float, default=None, metavar="SECONDS",
+                help="per-case wall-clock budget; over-budget cases are "
+                     "killed and retried",
+            )
+            sp.add_argument(
+                "--retries", type=int, default=1, metavar="N",
+                help="extra attempts after a case fails/times out (default 1)",
+            )
+            sp.add_argument(
+                "--checkpoint-dir", default=None, metavar="DIR",
+                help="directory for JSONL checkpoint shards "
+                     "(enables --resume)",
+            )
+            sp.add_argument(
+                "--resume", action="store_true",
+                help="skip cases already checkpointed in --checkpoint-dir",
             )
         return sp
 
@@ -99,8 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
     exp = add("export-suite", "write the 72 matrices as MatrixMarket files",
               machine=False)
     exp.add_argument("directory", help="output directory for .mtx files")
-    rep = add("report", "full EXPERIMENTS.md regeneration", machine=False)
+    rep = add("report", "full EXPERIMENTS.md regeneration", machine=False,
+              parallel=True)
     rep.add_argument("--no-table1", action="store_true", help="omit the long Table 1")
+    add("campaign",
+        "orchestrated campaign on one machine: parallel workers, per-case "
+        "timeout/retry, JSONL checkpoint/resume; exits 1 on any failure",
+        parallel=True)
     return p
 
 
@@ -126,6 +164,7 @@ def _campaign(args, *, random_baseline: bool = False):
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     out_text: str
+    exit_code = 0
 
     if args.command == "suite":
         if getattr(args, "detail", False):
@@ -192,11 +231,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         paths = export_suite(args.directory, cases=cases)
         out_text = "\n".join(str(p) for p in paths)
     elif args.command == "report":
-        out_text = generate_report(
+        try:
+            out_text = generate_report(
+                case_ids=_case_ids(args),
+                progress=lambda m: print(m, file=sys.stderr),
+                include_table1=not args.no_table1,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                retries=args.retries,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            )
+        except CampaignIncompleteError as exc:
+            for failure in exc.failures:
+                if failure.traceback:
+                    print(failure.traceback, file=sys.stderr)
+            print(f"report aborted: {exc}", file=sys.stderr)
+            return 1
+    elif args.command == "campaign":
+        if args.resume and not args.checkpoint_dir:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        cfg = ExperimentConfig(machine=args.machine)
+        outcome = run_campaign_parallel(
+            cfg,
             case_ids=_case_ids(args),
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
             progress=lambda m: print(m, file=sys.stderr),
-            include_table1=not args.no_table1,
         )
+        for failure in outcome.failures:
+            if failure.traceback:
+                print(failure.traceback, file=sys.stderr)
+        out_text = "\n".join(outcome.summary_lines())
+        exit_code = 0 if outcome.ok else 1
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {args.command}")
 
@@ -208,8 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             print(out_text)
         except BrokenPipeError:  # e.g. piped into `head`
-            return 0
-    return 0
+            return exit_code
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

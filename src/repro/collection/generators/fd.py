@@ -59,18 +59,18 @@ def poisson3d(nx: int, ny: int = 0, nz: int = 0) -> CSRMatrix:
     if min(nx, ny, nz) < 2:
         raise ValueError("grid must be at least 2x2x2")
     n = nx * ny * nz
-    i, j, l = np.meshgrid(
+    i, j, m = np.meshgrid(
         np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
     )
-    i, j, l = i.ravel(), j.ravel(), l.ravel()
-    k = (i * ny + j) * nz + l
+    i, j, m = i.ravel(), j.ravel(), m.ravel()
+    k = (i * ny + j) * nz + m
     rows = [k]
     cols = [k]
     vals = [np.full(n, 6.0)]
     for di, dj, dl in (
         (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)
     ):
-        ii, jj, ll = i + di, j + dj, l + dl
+        ii, jj, ll = i + di, j + dj, m + dl
         ok = (
             (ii >= 0) & (ii < nx) & (jj >= 0) & (jj < ny)
             & (ll >= 0) & (ll < nz)

@@ -10,7 +10,7 @@ available as ``repro-fsai suite --detail``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 import numpy as np
 

@@ -14,8 +14,8 @@ runs in minutes on a laptop; DESIGN.md §2 documents the substitution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 from repro.collection.generators.fd import (
     anisotropic_poisson2d,

@@ -49,3 +49,17 @@ class MatrixFormatError(ReproError, ValueError):
 
 class ConfigurationError(ReproError, ValueError):
     """An invalid machine/experiment configuration was supplied."""
+
+
+class CampaignIncompleteError(ReproError, RuntimeError):
+    """An orchestrated campaign finished with unrecovered case failures.
+
+    Raised by consumers that require a complete sweep (report generation,
+    the nightly pipeline); the per-case diagnostics are attached so CI logs
+    show every traceback without re-running.
+    """
+
+    def __init__(self, message: str, failures) -> None:
+        super().__init__(message)
+        #: List of :class:`repro.experiments.orchestrator.CaseFailure`.
+        self.failures = list(failures)

@@ -6,6 +6,9 @@ synthetic suite + simulated machines:
 * :mod:`~repro.experiments.runner` — one (matrix × method × filter ×
   machine) measurement;
 * :mod:`~repro.experiments.campaign` — sweeps over the 72-case suite;
+* :mod:`~repro.experiments.orchestrator` — parallel fault-tolerant
+  campaign execution with per-case timeout/retry and JSONL
+  checkpoint/resume;
 * :mod:`~repro.experiments.tables` — Table 1/2/3/4/5 + §7.4/§7.7 text
   renderings;
 * :mod:`~repro.experiments.figures` — Figure 1-7 data series and ASCII
@@ -21,6 +24,13 @@ from repro.experiments.runner import (
     run_case,
 )
 from repro.experiments.campaign import CampaignResult, run_campaign, quick_case_ids
+from repro.experiments.orchestrator import (
+    CaseFailure,
+    OrchestratorResult,
+    load_checkpoints,
+    require_complete,
+    run_campaign_parallel,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -30,4 +40,9 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "quick_case_ids",
+    "CaseFailure",
+    "OrchestratorResult",
+    "load_checkpoints",
+    "require_complete",
+    "run_campaign_parallel",
 ]

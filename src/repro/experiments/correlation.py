@@ -11,7 +11,7 @@ quantities — a quantitative honesty check on the suite substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

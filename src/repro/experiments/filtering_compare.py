@@ -16,7 +16,7 @@ match; we additionally record both entry counts to verify that premise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -8,15 +8,14 @@ section per experiment of DESIGN.md §4.
 from __future__ import annotations
 
 import io
-from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.arch.address import ArrayPlacement
-from repro.arch.presets import get_machine
-from repro.collection.suite import get_case, suite72
+from repro.collection.suite import get_case
 from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.orchestrator import require_complete, run_campaign_parallel
 from repro.experiments.figures import (
     figure1,
     figure2_series,
@@ -33,8 +32,6 @@ from repro.experiments.tables import (
     filter_sweep_stats,
     setup_overhead,
     table1,
-    table2,
-    table3,
 )
 from repro.collection.generators.fem import wathen
 
@@ -68,15 +65,43 @@ def run_all_campaigns(
     *,
     case_ids: Optional[Sequence[int]] = None,
     progress=None,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> Dict[str, CampaignResult]:
-    """Run the full sweep on all three machines (random baseline on SKX)."""
+    """Run the full sweep on all three machines (random baseline on SKX).
+
+    With any of ``jobs``/``timeout``/``checkpoint_dir``/``resume`` set, each
+    machine's sweep goes through the fault-tolerant orchestrator
+    (:func:`repro.experiments.orchestrator.run_campaign_parallel`); all
+    three machines share one checkpoint directory (records are keyed by
+    machine).  A report needs every case, so any unrecovered
+    :class:`~repro.experiments.orchestrator.CaseFailure` raises
+    :class:`~repro.errors.CampaignIncompleteError`.
+    """
+    orchestrated = (
+        jobs is not None or timeout is not None
+        or checkpoint_dir is not None or resume
+    )
     campaigns = {}
     for machine in ("skylake", "power9", "a64fx"):
         cfg = ExperimentConfig(
             machine=machine,
             include_random_baseline=(machine == "skylake"),
         )
-        campaigns[machine] = run_campaign(cfg, case_ids=case_ids, progress=progress)
+        if orchestrated:
+            outcome = run_campaign_parallel(
+                cfg, case_ids=case_ids, jobs=jobs, timeout=timeout,
+                retries=retries, checkpoint_dir=checkpoint_dir,
+                resume=resume, progress=progress,
+            )
+            campaigns[machine] = require_complete(outcome).campaign
+        else:
+            campaigns[machine] = run_campaign(
+                cfg, case_ids=case_ids, progress=progress
+            )
     return campaigns
 
 
@@ -84,8 +109,8 @@ def _sweep_comparison(campaign: CampaignResult, method: str, label: str) -> str:
     """Measured vs paper for one Table 2/4/5 block."""
     paper = PAPER_SWEEPS.get((campaign.machine, method))
     measured = filter_sweep_stats(campaign, method)
-    out = [f"| filter | paper avg iter % | measured | paper avg time % | measured |",
-           f"|---|---|---|---|---|"]
+    out = ["| filter | paper avg iter % | measured | paper avg time % | measured |",
+           "|---|---|---|---|---|"]
     for key, st in measured.items():
         p = paper.get(key) if paper else None
         p_it = f"{p[0]:.2f}" if p else "—"
@@ -102,9 +127,17 @@ def generate_report(
     campaigns: Optional[Dict[str, CampaignResult]] = None,
     progress=None,
     include_table1: bool = True,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> str:
     """Produce the full EXPERIMENTS.md text."""
-    campaigns = campaigns or run_all_campaigns(case_ids=case_ids, progress=progress)
+    campaigns = campaigns or run_all_campaigns(
+        case_ids=case_ids, progress=progress, jobs=jobs, timeout=timeout,
+        retries=retries, checkpoint_dir=checkpoint_dir, resume=resume,
+    )
     sky = campaigns["skylake"]
     buf = io.StringIO()
     w = buf.write

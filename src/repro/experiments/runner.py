@@ -7,15 +7,18 @@ from the roofline cost model over simulated cache traffic.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.arch.address import ArrayPlacement
 from repro.arch.machine import MachineModel
 from repro.arch.presets import get_machine
-from repro.collection.suite import MatrixCase
+from repro.collection.suite import MatrixCase, get_case
+from repro.errors import ConfigurationError
 from repro.fsai.extended import (
     FSAISetup,
     setup_fsai,
@@ -59,6 +62,38 @@ class ExperimentConfig:
     def machine_model(self) -> MachineModel:
         return get_machine(self.machine)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation (tuples become lists)."""
+        return {
+            "machine": self.machine,
+            "filters": list(self.filters),
+            "methods": list(self.methods),
+            "rtol": self.rtol,
+            "max_iterations": self.max_iterations,
+            "cache_scale": self.cache_scale,
+            "rhs_seed": self.rhs_seed,
+            "precalc_rtol": self.precalc_rtol,
+            "precalc_iterations": self.precalc_iterations,
+            "include_random_baseline": self.include_random_baseline,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentConfig":
+        d = dict(payload)
+        d["filters"] = tuple(d["filters"])
+        d["methods"] = tuple(d["methods"])
+        return cls(**d)
+
+    def config_hash(self) -> str:
+        """Stable short digest identifying this configuration.
+
+        Checkpoint records are keyed by ``(machine, case_id, config_hash)``
+        so a resumed campaign never reuses results produced under different
+        experiment knobs.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
 
 @dataclass
 class MethodRun:
@@ -82,6 +117,25 @@ class MethodRun:
             f"MethodRun({self.method}/f={f}: {self.iterations} iters, "
             f"solve={self.solve_seconds:.3e}s)"
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "filter_value": self.filter_value,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "relative_residual": self.relative_residual,
+            "setup_seconds": self.setup_seconds,
+            "solve_seconds": self.solve_seconds,
+            "g_nnz": self.g_nnz,
+            "pct_nnz": self.pct_nnz,
+            "x_misses_per_g_nnz": self.x_misses_per_g_nnz,
+            "gflops": self.gflops,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MethodRun":
+        return cls(**payload)
 
 
 @dataclass
@@ -114,6 +168,47 @@ class CaseResult:
         if self.baseline.iterations == 0:
             return 0.0
         return 100.0 * (self.baseline.iterations - run.iterations) / self.baseline.iterations
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation for checkpoint shards and IPC.
+
+        The :class:`MatrixCase` is stored by id + name only — it is fully
+        reconstructable from the suite registry, and storing the id keeps
+        checkpoint records small and forward-compatible.
+        """
+        return {
+            "case_id": self.case.case_id,
+            "case_name": self.case.name,
+            "n": self.n,
+            "nnz": self.nnz,
+            "machine": self.machine,
+            "baseline": self.baseline.to_dict(),
+            "runs": [
+                {"method": m, "filter_value": f, "run": r.to_dict()}
+                for (m, f), r in self.runs.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CaseResult":
+        case = get_case(int(payload["case_id"]))
+        if case.name != payload["case_name"]:
+            raise ConfigurationError(
+                f"checkpoint case id {payload['case_id']} names "
+                f"{payload['case_name']!r} but the suite registry has "
+                f"{case.name!r} — suite and checkpoint disagree"
+            )
+        return cls(
+            case=case,
+            n=int(payload["n"]),
+            nnz=int(payload["nnz"]),
+            machine=str(payload["machine"]),
+            baseline=MethodRun.from_dict(payload["baseline"]),
+            runs={
+                (e["method"], e["filter_value"]): MethodRun.from_dict(e["run"])
+                for e in payload["runs"]
+            },
+        )
 
 
 def make_rhs(a: CSRMatrix, seed: int) -> np.ndarray:

@@ -11,10 +11,9 @@ shape survives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-import numpy as np
 
 import repro.perf.costmodel as costmodel_mod
 from repro.experiments.campaign import run_campaign

@@ -7,12 +7,11 @@ POWER9 / A64FX campaigns, exactly as in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
 from repro.experiments.campaign import CampaignResult
-from repro.experiments.runner import CaseResult, MethodRun
 from repro.perf.metrics import ImprovementStats, summarize_improvements
 
 __all__ = [

@@ -22,7 +22,7 @@ exercised:
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
 import numpy as np
 

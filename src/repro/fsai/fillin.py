@@ -16,7 +16,7 @@ diagonal", §4.4) is a clip against the row index.
 
 from __future__ import annotations
 
-from typing import Literal, Optional
+from typing import Literal
 
 import numpy as np
 

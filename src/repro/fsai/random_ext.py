@@ -11,11 +11,11 @@ difference — precisely the paper's ablation.
 
 from __future__ import annotations
 
-from typing import Literal, Optional
+from typing import Literal
 
 import numpy as np
 
-from repro.errors import PatternError, ShapeError
+from repro.errors import ShapeError
 from repro.sparse.pattern import Pattern
 
 __all__ = ["extend_pattern_random"]

@@ -16,6 +16,8 @@ approaches").  This subpackage models that:
 from repro.parallel.partition import RowPartition
 from repro.parallel.cost import (
     ParallelSpMVCost,
+    estimate_case_seconds,
+    order_cases_by_cost,
     parallel_spmv_cost,
     parallel_speedup_curve,
     simulate_parallel_l1_misses,
@@ -24,6 +26,8 @@ from repro.parallel.cost import (
 __all__ = [
     "RowPartition",
     "ParallelSpMVCost",
+    "estimate_case_seconds",
+    "order_cases_by_cost",
     "parallel_spmv_cost",
     "parallel_speedup_curve",
     "simulate_parallel_l1_misses",

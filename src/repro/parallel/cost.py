@@ -43,6 +43,8 @@ __all__ = [
     "simulate_parallel_l1_misses",
     "parallel_spmv_cost",
     "parallel_speedup_curve",
+    "estimate_case_seconds",
+    "order_cases_by_cost",
 ]
 
 
@@ -112,7 +114,6 @@ def parallel_spmv_cost(
         raise ConfigurationError("partition size disagrees with n_threads")
 
     nnz_per_block = partition.nnz_per_block(pattern).astype(np.float64)
-    rows_per_block = partition.rows_per_block().astype(np.float64)
     per_core_flops = machine.spmv_flops / machine.cores
 
     # Compute: slowest block.
@@ -141,6 +142,57 @@ def parallel_spmv_cost(
         memory_seconds=memory_seconds,
         imbalance=partition.imbalance(pattern),
         x_misses_total=int(sum(misses)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign scheduling cost model.
+#
+# The orchestrator (repro.experiments.orchestrator) shards the suite at
+# case granularity; with heterogeneous cases, longest-processing-time-first
+# ordering bounds the makespan at (4/3 - 1/3p) x optimal, so it needs a
+# *static* per-case cost estimate available without building the matrix.
+# ----------------------------------------------------------------------
+
+#: Equivalent-iterations weight of one preconditioner setup (the k^3 local
+#: solves + simulated application cost dominate cheap, fast-converging
+#: cases; calibrated on the quick cross-section).
+SETUP_EQUIVALENT_ITERATIONS = 60.0
+
+
+def estimate_case_seconds(case, *, n_setups: int = 9) -> float:
+    """Static cost estimate of one campaign case, in arbitrary seconds.
+
+    Uses only the suite registry's paper metadata — the synthetic suite is
+    tuned so its per-case difficulty ordering tracks the paper's, which
+    makes ``fsai_iters`` a usable iteration-count proxy and ``nnz`` a
+    usable size proxy (sizes are uniformly scaled down, preserving order).
+    Absolute values are meaningless; only the *relative* ordering and the
+    rough magnitude ratios matter for scheduling and ETA estimation.
+
+    Parameters
+    ----------
+    case:
+        A :class:`repro.collection.suite.MatrixCase`.
+    n_setups:
+        Number of preconditioner setups the experiment grid performs per
+        case (methods x filters + baseline); default matches
+        :class:`~repro.experiments.runner.ExperimentConfig` defaults.
+    """
+    iters = float(case.paper.fsai_iters)
+    size = float(np.sqrt(case.paper.nnz))
+    return 1e-6 * size * (iters + n_setups * SETUP_EQUIVALENT_ITERATIONS)
+
+
+def order_cases_by_cost(cases, *, n_setups: int = 9):
+    """Cases sorted most-expensive-first (LPT order), ties by case id.
+
+    Deterministic: equal estimates fall back to ascending case id, so the
+    orchestrator's task queue is reproducible run-to-run.
+    """
+    return sorted(
+        cases,
+        key=lambda c: (-estimate_case_seconds(c, n_setups=n_setups), c.case_id),
     )
 
 

@@ -17,6 +17,7 @@ from repro.perf.metrics import (
     gflops_of_application,
     improvement_pct,
     ImprovementStats,
+    OrchestrationMetrics,
     summarize_improvements,
 )
 from repro.perf.regression import RegressionComponent, RegressionRecord
@@ -32,6 +33,7 @@ __all__ = [
     "gflops_of_application",
     "improvement_pct",
     "ImprovementStats",
+    "OrchestrationMetrics",
     "summarize_improvements",
     "min_over_repetitions",
 ]

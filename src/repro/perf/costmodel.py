@@ -37,7 +37,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.arch.address import ArrayPlacement
-from repro.arch.machine import CacheLevelSpec, MachineModel
+from repro.arch.machine import MachineModel
 from repro.cachesim.spmv_sim import simulate_fsai_application, simulate_spmv
 from repro.errors import ConfigurationError
 from repro.fsai.extended import FSAISetup

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Sequence, Union
 
 import numpy as np
 
@@ -14,6 +14,7 @@ __all__ = [
     "improvement_pct",
     "ImprovementStats",
     "summarize_improvements",
+    "OrchestrationMetrics",
 ]
 
 
@@ -77,3 +78,53 @@ def summarize_improvements(
         median_time=float(np.median(tm)),
         count=len(tm),
     )
+
+
+@dataclass(frozen=True)
+class OrchestrationMetrics:
+    """Throughput record of one orchestrated campaign run.
+
+    Captured by :func:`repro.experiments.orchestrator.run_campaign_parallel`
+    and embeddable in a :class:`~repro.perf.regression.RegressionRecord`, so
+    the nightly pipeline can diff campaign throughput the same way CI diffs
+    the engine speedups.
+    """
+
+    jobs: int
+    wall_seconds: float
+    cases_total: int
+    cases_completed: int
+    cases_skipped: int
+    failures: int
+    retries: int
+
+    @property
+    def cases_per_second(self) -> float:
+        """Completed-case throughput (checkpoint-skipped cases excluded)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cases_completed / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "cases_total": self.cases_total,
+            "cases_completed": self.cases_completed,
+            "cases_skipped": self.cases_skipped,
+            "failures": self.failures,
+            "retries": self.retries,
+            "cases_per_second": self.cases_per_second,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Union[int, float]]) -> "OrchestrationMetrics":
+        return cls(
+            jobs=int(payload["jobs"]),
+            wall_seconds=float(payload["wall_seconds"]),
+            cases_total=int(payload["cases_total"]),
+            cases_completed=int(payload["cases_completed"]),
+            cases_skipped=int(payload["cases_skipped"]),
+            failures=int(payload["failures"]),
+            retries=int(payload["retries"]),
+        )

@@ -18,9 +18,11 @@ import json
 import platform
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.perf.metrics import OrchestrationMetrics
 
 __all__ = ["RegressionComponent", "RegressionRecord"]
 
@@ -65,6 +67,8 @@ class RegressionRecord:
     label: str
     scope: str
     components: List[RegressionComponent] = field(default_factory=list)
+    #: Optional campaign-throughput block (set by orchestrated runs).
+    orchestration: Optional[OrchestrationMetrics] = None
 
     @property
     def reference_total(self) -> float:
@@ -79,7 +83,7 @@ class RegressionRecord:
         return _speedup(self.reference_total, self.optimized_total)
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "label": self.label,
             "scope": self.scope,
             "environment": {
@@ -92,6 +96,9 @@ class RegressionRecord:
             "optimized_total_seconds": self.optimized_total,
             "speedup": self.speedup,
         }
+        if self.orchestration is not None:
+            payload["orchestration"] = self.orchestration.to_dict()
+        return payload
 
     def write(self, path: Union[str, Path]) -> Path:
         """Serialise to ``path`` as indented JSON; returns the path."""
@@ -113,6 +120,11 @@ class RegressionRecord:
                 )
                 for c in payload["components"]
             ],
+            orchestration=(
+                OrchestrationMetrics.from_dict(payload["orchestration"])
+                if "orchestration" in payload
+                else None
+            ),
         )
 
     @classmethod

@@ -61,7 +61,6 @@ def ichol0(a: CSRMatrix, *, shift: float = 0.0) -> CSRMatrix:
         lo, hi = int(indptr[i]), int(indptr[i + 1])
         if hi == lo or indices[hi - 1] != i:
             raise NotSPDError(f"row {i}: diagonal missing from the IC(0) pattern")
-        row_cols = indices[lo:hi]
         for idx in range(lo, hi):
             j = int(indices[idx])
             jlo, jhi = int(indptr[j]), int(indptr[j + 1])

@@ -29,27 +29,27 @@ __all__ = [
 ]
 
 
-def _check_lower(l: CSRMatrix) -> None:
-    if l.n_rows != l.n_cols:
+def _check_lower(lower: CSRMatrix) -> None:
+    if lower.n_rows != lower.n_cols:
         raise ShapeError("triangular solve requires a square matrix")
-    if not l.pattern.is_lower_triangular():
+    if not lower.pattern.is_lower_triangular():
         raise ShapeError("matrix must be lower triangular")
 
 
-def sparse_forward_substitution(l: CSRMatrix, b: FloatArray) -> FloatArray:
+def sparse_forward_substitution(lower: CSRMatrix, b: FloatArray) -> FloatArray:
     """Solve ``L x = b`` for lower-triangular CSR ``L`` (diagonal last).
 
     Rows must store the diagonal entry (checked); runs in O(nnz) with one
     vectorised dot per row — the inherently sequential kernel the level-set
     analysis characterises.
     """
-    _check_lower(l)
+    _check_lower(lower)
     b = np.asarray(b, dtype=np.float64)
-    if b.shape != (l.n_rows,):
-        raise ShapeError(f"b has shape {b.shape}, expected ({l.n_rows},)")
-    x = np.empty(l.n_rows)
-    indptr, indices, data = l.indptr, l.indices, l.data
-    for i in range(l.n_rows):
+    if b.shape != (lower.n_rows,):
+        raise ShapeError(f"b has shape {b.shape}, expected ({lower.n_rows},)")
+    x = np.empty(lower.n_rows)
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    for i in range(lower.n_rows):
         lo, hi = indptr[i], indptr[i + 1]
         cols = indices[lo:hi]
         vals = data[lo:hi]
@@ -65,20 +65,20 @@ def sparse_forward_substitution(l: CSRMatrix, b: FloatArray) -> FloatArray:
     return x
 
 
-def sparse_backward_substitution(l: CSRMatrix, b: FloatArray) -> FloatArray:
+def sparse_backward_substitution(lower: CSRMatrix, b: FloatArray) -> FloatArray:
     """Solve ``L^T x = b`` using the *lower* factor's CSR storage.
 
     Column-sweep formulation: process rows of ``L`` in reverse, scattering
     each solved component into the remaining right-hand side.
     """
-    _check_lower(l)
+    _check_lower(lower)
     b = np.asarray(b, dtype=np.float64)
-    if b.shape != (l.n_rows,):
-        raise ShapeError(f"b has shape {b.shape}, expected ({l.n_rows},)")
+    if b.shape != (lower.n_rows,):
+        raise ShapeError(f"b has shape {b.shape}, expected ({lower.n_rows},)")
     y = b.copy()
-    x = np.empty(l.n_rows)
-    indptr, indices, data = l.indptr, l.indices, l.data
-    for i in range(l.n_rows - 1, -1, -1):
+    x = np.empty(lower.n_rows)
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    for i in range(lower.n_rows - 1, -1, -1):
         lo, hi = indptr[i], indptr[i + 1]
         cols = indices[lo:hi]
         vals = data[lo:hi]

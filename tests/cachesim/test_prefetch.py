@@ -1,7 +1,6 @@
 """Unit tests for the next-line prefetcher model."""
 
 import numpy as np
-import pytest
 
 from repro.arch.machine import CacheLevelSpec
 from repro.cachesim.cache import SetAssociativeCache

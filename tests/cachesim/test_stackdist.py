@@ -9,7 +9,6 @@ from repro.arch.address import ArrayPlacement
 from repro.arch.machine import CacheLevelSpec
 from repro.cachesim.cache import SetAssociativeCache
 from repro.cachesim.stackdist import (
-    StackDistanceProfile,
     profile_stack_distances,
     stack_distances,
 )

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.collection.generators.fd import poisson2d
-from repro.collection.stats import MatrixStats, matrix_stats, suite_report
+from repro.collection.stats import matrix_stats, suite_report
 from repro.collection.suite import get_case
 from repro.sparse.construct import csr_from_dense, csr_identity
 

@@ -1,6 +1,5 @@
 """Unit tests for filtering_compare (Table 3 logic) and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro.arch.address import ArrayPlacement

@@ -1,6 +1,5 @@
 """Focused unit tests for report helpers and table edge cases."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.campaign import run_campaign

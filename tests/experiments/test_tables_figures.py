@@ -1,6 +1,5 @@
 """Unit tests for experiments.tables and experiments.figures."""
 
-import numpy as np
 import pytest
 
 from repro.arch.address import ArrayPlacement

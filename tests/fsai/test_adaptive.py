@@ -15,7 +15,6 @@ from repro.fsai.adaptive import (
 from repro.fsai.extended import setup_fsai
 from repro.solvers.cg import pcg
 from repro.sparse.construct import csr_from_dense
-from tests.conftest import random_spd_dense
 
 
 @pytest.fixture(scope="module")

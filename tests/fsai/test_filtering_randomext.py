@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.arch.address import ArrayPlacement
 from repro.errors import PatternError, ShapeError
 from repro.fsai.fillin import extend_pattern_cache_friendly
 from repro.fsai.filtering import (
@@ -15,7 +14,6 @@ from repro.fsai.frobenius import compute_g, precalculate_g
 from repro.fsai.patterns import fsai_initial_pattern
 from repro.fsai.random_ext import extend_pattern_random
 from repro.sparse.construct import csr_from_dense
-from repro.sparse.csr import CSRMatrix
 from repro.sparse.pattern import Pattern
 from tests.conftest import random_spd_dense
 
@@ -87,9 +85,6 @@ class TestPrecalcFilter:
 
     def test_base_must_be_subset(self, setup):
         a, base, _, g_approx = setup
-        alien = Pattern.identity(16).union(
-            Pattern.from_coo(16, 16, np.array([15]), np.array([2]))
-        )
         # Construct a pattern definitely not inside g_approx's pattern:
         full_row = Pattern.from_rows(
             16, 16, [list(range(i + 1)) for i in range(16)]

@@ -111,7 +111,6 @@ class TestComputeG:
         # The Frobenius-optimal G for pattern S minimises row-by-row; its
         # scaled variant keeps optimality direction-wise: check stationarity.
         base = np.linalg.norm(np.eye(6) - (gd @ L), "fro") ** 2
-        rng = np.random.default_rng(0)
         rows, cols = p.coo()
         for r, c in zip(rows, cols):
             if r == c:
@@ -172,8 +171,6 @@ class TestPrecalculateG:
 
 class TestFlopEstimates:
     def test_direct_scales_cubically(self):
-        small = Pattern.from_rows(1, 4, [[0, 1, 2, 3]])  # one row of 4
-        # build valid lower-tri by using row 3 of 4x4
         p1 = Pattern.from_rows(4, 4, [[0], [1], [2], [3]])
         p2 = Pattern.from_rows(4, 4, [[0], [0, 1], [0, 1, 2], [0, 1, 2, 3]])
         assert setup_flops_direct(p2) > setup_flops_direct(p1)

@@ -117,7 +117,6 @@ class TestSetups:
     def test_full_gt_pattern_cache_friendly_for_second_product(self, a, p64):
         fu = setup_fsaie_full(a, p64, filter_value=0.01)
         gt_pattern = fu.application.gt_pattern
-        s_ext_t = None
         # The stored G^T rows must touch no more lines than the transpose of
         # the *first-stage* pattern extended for the second product; the
         # operational check: re-extending G^T adds entries only where the

@@ -9,7 +9,6 @@ and the generated EXPERIMENTS.md must cover every experiment.
 import re
 from pathlib import Path
 
-import pytest
 
 ROOT = Path(__file__).resolve().parents[2]
 

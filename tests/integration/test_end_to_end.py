@@ -8,7 +8,6 @@ reproduction criteria on a small but non-trivial subset.
 import numpy as np
 import pytest
 
-from repro.arch.address import ArrayPlacement
 from repro.experiments.campaign import run_campaign
 from repro.experiments.runner import ExperimentConfig
 from repro.experiments.report import generate_report

@@ -5,7 +5,6 @@ import pytest
 
 from repro.arch.presets import SKYLAKE
 from repro.collection.generators.fd import poisson2d
-from repro.collection.generators.graphs import economic_network
 from repro.errors import ConfigurationError, ShapeError
 from repro.parallel.cost import (
     parallel_speedup_curve,
@@ -133,3 +132,34 @@ class TestParallelCost:
         part = RowPartition(np.array([0, 2, 2, 2]))
         misses = simulate_parallel_l1_misses(pat, SKYLAKE, part)
         assert misses[1] == 0 and misses[2] == 0
+
+
+class TestCaseCostOrdering:
+    """Static LPT cost model used by the campaign orchestrator."""
+
+    def test_estimates_positive_and_monotone_in_setups(self):
+        from repro.collection.suite import suite72
+        from repro.parallel.cost import estimate_case_seconds
+
+        for case in suite72():
+            lo = estimate_case_seconds(case, n_setups=1)
+            hi = estimate_case_seconds(case, n_setups=9)
+            assert 0.0 < lo < hi
+
+    def test_order_is_lpt_and_deterministic(self):
+        from repro.collection.suite import suite72
+        from repro.parallel.cost import (
+            estimate_case_seconds,
+            order_cases_by_cost,
+        )
+
+        cases = suite72()
+        ordered = order_cases_by_cost(cases)
+        costs = [estimate_case_seconds(c) for c in ordered]
+        assert costs == sorted(costs, reverse=True)
+        assert {c.case_id for c in ordered} == {c.case_id for c in cases}
+        # Ties (equal estimates) break by ascending case id.
+        for a, b in zip(ordered, ordered[1:]):
+            if estimate_case_seconds(a) == estimate_case_seconds(b):
+                assert a.case_id < b.case_id
+        assert order_cases_by_cost(list(reversed(cases))) == ordered

@@ -1,6 +1,5 @@
 """Unit tests for repro.perf (cost model, metrics, timer)."""
 
-import numpy as np
 import pytest
 
 from repro.arch.address import ArrayPlacement
@@ -179,3 +178,41 @@ class TestTimer:
     def test_validates_repetitions(self):
         with pytest.raises(ValueError):
             min_over_repetitions(lambda: None, repetitions=0)
+
+
+class TestOrchestrationMetrics:
+    def _metrics(self):
+        from repro.perf.metrics import OrchestrationMetrics
+
+        return OrchestrationMetrics(
+            jobs=4, wall_seconds=8.0, cases_total=12, cases_completed=10,
+            cases_skipped=2, failures=0, retries=1,
+        )
+
+    def test_throughput(self):
+        m = self._metrics()
+        assert m.cases_per_second == pytest.approx(10 / 8.0)
+        zero = type(m)(jobs=1, wall_seconds=0.0, cases_total=0,
+                       cases_completed=0, cases_skipped=0, failures=0,
+                       retries=0)
+        assert zero.cases_per_second == 0.0
+
+    def test_round_trip(self):
+        from repro.perf.metrics import OrchestrationMetrics
+
+        m = self._metrics()
+        assert OrchestrationMetrics.from_dict(m.to_dict()) == m
+
+    def test_embeds_in_regression_record(self):
+        from repro.perf.regression import RegressionComponent, RegressionRecord
+
+        rec = RegressionRecord(
+            label="nightly", scope="full campaign",
+            components=[RegressionComponent("engine", 2.0, 1.0)],
+            orchestration=self._metrics(),
+        )
+        back = RegressionRecord.from_dict(rec.to_dict())
+        assert back.orchestration == self._metrics()
+        # Records without the block stay loadable (old JSON files).
+        bare = RegressionRecord(label="old", scope="quick", components=[])
+        assert RegressionRecord.from_dict(bare.to_dict()).orchestration is None

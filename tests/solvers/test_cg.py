@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ShapeError
-from repro.collection.generators.fd import poisson2d
 from repro.solvers.cg import cg, pcg
 from repro.solvers.preconditioners import JacobiPreconditioner
 from repro.sparse.construct import csr_from_dense

@@ -48,9 +48,9 @@ class TestTriangularSolves:
             sparse_forward_substitution(lower.T, np.ones(8))
 
     def test_rejects_missing_diagonal(self):
-        l = csr_from_dense(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        bad = csr_from_dense(np.array([[1.0, 0.0], [1.0, 0.0]]))
         with pytest.raises(NotSPDError):
-            sparse_forward_substitution(l, np.ones(2))
+            sparse_forward_substitution(bad, np.ones(2))
 
     def test_shape_check(self, lower):
         with pytest.raises(ShapeError):
