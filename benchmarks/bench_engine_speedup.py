@@ -21,6 +21,7 @@ from pathlib import Path
 
 
 from benchmarks.conftest import BENCH_CASE_IDS, scope_note
+from repro import trace
 from repro.arch.address import ArrayPlacement
 from repro.arch.presets import SKYLAKE
 from repro.cachesim.cache import SetAssociativeCache
@@ -101,10 +102,16 @@ def test_engine_speedup(benchmark, capsys):
         ),
     ]
 
+    # One traced pass over the optimized composite: the record then carries
+    # a per-phase breakdown next to the timings (ISSUE 3 observability).
+    with trace.collecting() as collector:
+        stackdist("vector")()
+        setup("bucketed")()
     record = RegressionRecord(
         label="vectorized engine + bucketed FSAI setup",
         scope=scope_note(),
         components=components,
+        trace_summary=trace.TraceSummary.from_collector(collector),
     )
     record.write(ARTIFACT)
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
+from repro import trace as tracing
 from repro.arch.address import ArrayPlacement
 from repro.arch.machine import MachineModel
 from repro.cachesim.hierarchy import CacheHierarchy
@@ -62,20 +63,30 @@ class SpMVSimResult:
         return self.x_misses / self.nnz if self.nnz else 0.0
 
 
-def _run(trace: TraceResult, hierarchy: CacheHierarchy, nnz: int) -> SpMVSimResult:
-    l1_hits = hierarchy.access_many(trace.lines)
-    x_mask = trace.is_x
-    x_accesses = int(x_mask.sum())
-    x_misses = int((~l1_hits[x_mask]).sum())
-    l1 = hierarchy.l1.stats
-    return SpMVSimResult(
-        x_accesses=x_accesses,
-        x_misses=x_misses,
-        total_accesses=l1.accesses,
-        total_misses=l1.misses,
-        nnz=nnz,
-        memory_misses=hierarchy.memory_misses,
-    )
+def _run(
+    trace: TraceResult, hierarchy: CacheHierarchy, nnz: int, *,
+    span_name: str = "cachesim.spmv_sim",
+) -> SpMVSimResult:
+    with tracing.span(span_name, accesses=len(trace.lines), nnz=nnz):
+        l1_hits = hierarchy.access_many(trace.lines)
+        x_mask = trace.is_x
+        x_accesses = int(x_mask.sum())
+        x_misses = int((~l1_hits[x_mask]).sum())
+        l1 = hierarchy.l1.stats
+        result = SpMVSimResult(
+            x_accesses=x_accesses,
+            x_misses=x_misses,
+            total_accesses=l1.accesses,
+            total_misses=l1.misses,
+            nnz=nnz,
+            memory_misses=hierarchy.memory_misses,
+        )
+        if tracing.enabled():
+            tracing.add_counter("cachesim.l1_accesses", result.total_accesses)
+            tracing.add_counter("cachesim.l1_misses", result.total_misses)
+            tracing.add_counter("cachesim.x_misses", result.x_misses)
+            tracing.add_counter("cachesim.memory_misses", result.memory_misses)
+    return result
 
 
 def simulate_spmv(
@@ -114,7 +125,7 @@ def simulate_spmv(
         CacheHierarchy.l1_only(machine, backend=backend) if l1_only
         else CacheHierarchy.for_machine(machine, backend=backend)
     )
-    return _run(trace, hierarchy, pattern.nnz)
+    return _run(trace, hierarchy, pattern.nnz, span_name="cachesim.spmv_sim")
 
 
 def simulate_fsai_application(
@@ -151,7 +162,9 @@ def simulate_fsai_application(
         else CacheHierarchy.for_machine(machine, backend=backend)
     )
     nnz = (g_pattern.nnz + gt.nnz) // 2  # normalise by nnz(G) as the paper does
-    return _run(trace, hierarchy, nnz * repetitions)
+    return _run(
+        trace, hierarchy, nnz * repetitions, span_name="cachesim.fsai_apply_sim"
+    )
 
 
 def misses_per_nnz(

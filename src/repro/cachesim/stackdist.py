@@ -28,6 +28,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro import trace
 from repro.cachesim.engine import stack_distances_vectorized
 
 __all__ = ["StackDistanceProfile", "stack_distances", "profile_stack_distances"]
@@ -40,7 +41,9 @@ def stack_distances(lines: Sequence[int], *, backend: str = "vector") -> np.ndar
     """
     lines = np.asarray(lines, dtype=np.int64)
     if backend != "reference":
-        return stack_distances_vectorized(lines)
+        with trace.span("cachesim.stackdist", backend=backend):
+            trace.add_counter("cachesim.accesses", len(lines))
+            return stack_distances_vectorized(lines)
     n = len(lines)
     out = np.empty(n, dtype=np.int64)
     if n == 0:

@@ -11,6 +11,7 @@ Examples
     repro-fsai report -o EXPERIMENTS.md  # full campaign, all machines
     repro-fsai campaign --jobs 4 --timeout 300 --checkpoint-dir shards/
     repro-fsai campaign --resume --checkpoint-dir shards/   # pick up where killed
+    repro-fsai trace 37                  # one traced case -> JSON + Chrome trace
 
 ``python -m repro`` is an alias for the installed script.  ``campaign`` and
 ``report`` accept ``--jobs/--timeout/--retries/--checkpoint-dir/--resume``
@@ -23,8 +24,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
+from repro import trace
 from repro.arch.address import ArrayPlacement
 from repro.arch.presets import MACHINES
 from repro.collection.generators.fem import wathen
@@ -139,6 +142,29 @@ def build_parser() -> argparse.ArgumentParser:
         "orchestrated campaign on one machine: parallel workers, per-case "
         "timeout/retry, JSONL checkpoint/resume; exits 1 on any failure",
         parallel=True)
+    tr = sub.add_parser(
+        "trace",
+        help="run one case under repro.trace and emit JSON + Chrome-trace "
+             "files (see docs/tracing.md)",
+    )
+    tr.add_argument("case", type=int, help="Table 1 case id to trace")
+    tr.add_argument(
+        "--machine", default="skylake", choices=sorted(MACHINES),
+        help="target machine model (default skylake)",
+    )
+    tr.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="JSON trace output (default trace-case<ID>.json)",
+    )
+    tr.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="Chrome-trace output for chrome://tracing / Perfetto "
+             "(default trace-case<ID>.chrome.json)",
+    )
+    tr.add_argument(
+        "-o", "--output", default=None,
+        help="write the phase summary to this file instead of stdout",
+    )
     return p
 
 
@@ -148,6 +174,39 @@ def _case_ids(args) -> Optional[Sequence[int]]:
     if getattr(args, "quick", False):
         return QUICK_CASE_IDS
     return None
+
+
+def _trace_case(args) -> str:
+    """Run one case under tracing; write both exports, return the summary."""
+    from repro.experiments.runner import run_case
+
+    case = get_case(args.case)
+    cfg = ExperimentConfig(machine=args.machine)
+    t0 = time.perf_counter()
+    with trace.collecting() as collector:
+        result = run_case(case, cfg)
+    wall = time.perf_counter() - t0
+    summary = trace.TraceSummary.from_collector(collector)
+    label = f"case {case.case_id} ({case.name}) on {cfg.machine}"
+    json_path = args.json or f"trace-case{case.case_id}.json"
+    chrome_path = args.chrome or f"trace-case{case.case_id}.chrome.json"
+    trace.write_json(json_path, summary, label=label)
+    trace.write_chrome_trace(chrome_path, summary)
+    lines = [
+        f"traced {label}: wall {wall:.3f}s, "
+        f"spans cover {summary.total_seconds():.3f}s "
+        f"({100.0 * summary.total_seconds() / wall:.1f}%)",
+        f"wrote {json_path} (schema {trace.JSON_SCHEMA}) and {chrome_path}",
+        "",
+    ]
+    lines += summary.summary_lines()
+    if result.trace_summary is not None:
+        lines.append("")
+        lines.append(
+            f"case result carries trace_summary with "
+            f"{sum(1 for _ in result.trace_summary.iter_spans())} span(s)"
+        )
+    return "\n".join(lines)
 
 
 def _campaign(args, *, random_baseline: bool = False):
@@ -268,6 +327,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(failure.traceback, file=sys.stderr)
         out_text = "\n".join(outcome.summary_lines())
         exit_code = 0 if outcome.ok else 1
+    elif args.command == "trace":
+        out_text = _trace_case(args)
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {args.command}")
 

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro import trace
 from repro.collection.suite import MatrixCase, get_case, suite72
 from repro.errors import CampaignIncompleteError, ConfigurationError
 from repro.experiments.campaign import CampaignResult
@@ -228,10 +229,20 @@ def _default_case_runner(case: MatrixCase, config: ExperimentConfig) -> CaseResu
     return run_case(case, config)
 
 
-def _worker_main(conn, case_runner, case, config) -> None:
-    """Run one case and report ``("ok", dict)`` or ``("error", dict)``."""
+def _worker_main(conn, case_runner, case, config, tracing=False) -> None:
+    """Run one case and report ``("ok", dict)`` or ``("error", dict)``.
+
+    With ``tracing=True`` the case runs under a fresh per-worker collector;
+    :func:`~repro.experiments.runner.run_case` attaches the span tree to
+    the result, so it crosses the process boundary inside the result dict
+    (and from there rides the JSONL checkpoint shards unchanged).
+    """
     try:
-        result = case_runner(case, config)
+        if tracing:
+            with trace.collecting():
+                result = case_runner(case, config)
+        else:
+            result = case_runner(case, config)
         payload = ("ok", result.to_dict())
     except BaseException as exc:  # noqa: BLE001 — isolation is the point
         payload = (
@@ -382,6 +393,7 @@ def run_campaign_parallel(
     progress: Optional[Callable[[str], None]] = None,
     heartbeat_seconds: float = 30.0,
     case_runner: Optional[Callable[[MatrixCase, ExperimentConfig], CaseResult]] = None,
+    trace_spans: Optional[bool] = None,
 ) -> OrchestratorResult:
     """Run the campaign sharded across ``jobs`` worker processes.
 
@@ -413,6 +425,13 @@ def run_campaign_parallel(
         Module-level ``(case, config) -> CaseResult`` override, used by
         tests to inject failures/timeouts; defaults to
         :func:`~repro.experiments.runner.run_case`.
+    trace_spans:
+        Run each case under a worker-side trace collector so every merged
+        :class:`CaseResult` carries its span tree (``trace_summary``).
+        Defaults to the caller's own tracing state (``trace.enabled()``),
+        so an orchestrated campaign inside ``trace.collecting()`` traces
+        end to end; the parent additionally records one
+        ``orchestrator.case`` event per completed case.
     """
     config = config or ExperimentConfig()
     if retries < 0:
@@ -425,6 +444,8 @@ def run_campaign_parallel(
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     runner = case_runner or _default_case_runner
+    if trace_spans is None:
+        trace_spans = trace.enabled()
     cfg_hash = config.config_hash()
     ckpt_path: Optional[Path] = None
     if checkpoint_dir is not None:
@@ -463,7 +484,7 @@ def run_campaign_parallel(
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, runner, task.case, config),
+            args=(child_conn, runner, task.case, config, trace_spans),
             daemon=True,
         )
         proc.start()
@@ -529,6 +550,13 @@ def run_campaign_parallel(
         task = s.task
         elapsed = time.monotonic() - s.started
         completed[task.case.case_id] = CaseResult.from_dict(result_dict)
+        trace.event(
+            "orchestrator.case",
+            elapsed,
+            case_id=task.case.case_id,
+            slot=slot,
+            attempt=task.attempt,
+        )
         if ckpt_path is not None:
             _append_jsonl(
                 _shard_path(ckpt_path, slot),

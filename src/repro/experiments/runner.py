@@ -14,6 +14,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import trace
 from repro.arch.address import ArrayPlacement
 from repro.arch.machine import MachineModel
 from repro.arch.presets import get_machine
@@ -30,6 +31,7 @@ from repro.fsai.extended import (
 from repro.perf.costmodel import CostModel, KernelCost
 from repro.solvers.cg import pcg
 from repro.sparse.csr import CSRMatrix
+from repro.trace import TraceSummary
 
 __all__ = ["ExperimentConfig", "MethodRun", "CaseResult", "run_case", "make_rhs"]
 
@@ -148,6 +150,9 @@ class CaseResult:
     machine: str
     baseline: MethodRun
     runs: Dict[Tuple[str, float], MethodRun] = field(default_factory=dict)
+    #: Per-case span tree, set when the case ran under ``trace.collecting``
+    #: (campaign artifacts then carry phase breakdowns; see docs/tracing.md).
+    trace_summary: Optional[TraceSummary] = None
 
     def get(self, method: str, filter_value: float) -> MethodRun:
         return self.runs[(method, filter_value)]
@@ -176,7 +181,7 @@ class CaseResult:
         reconstructable from the suite registry, and storing the id keeps
         checkpoint records small and forward-compatible.
         """
-        return {
+        payload: Dict[str, object] = {
             "case_id": self.case.case_id,
             "case_name": self.case.name,
             "n": self.n,
@@ -188,6 +193,9 @@ class CaseResult:
                 for (m, f), r in self.runs.items()
             ],
         }
+        if self.trace_summary is not None:
+            payload["trace_summary"] = self.trace_summary.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "CaseResult":
@@ -208,6 +216,11 @@ class CaseResult:
                 (e["method"], e["filter_value"]): MethodRun.from_dict(e["run"])
                 for e in payload["runs"]
             },
+            trace_summary=(
+                TraceSummary.from_dict(payload["trace_summary"])  # type: ignore[arg-type]
+                if "trace_summary" in payload
+                else None
+            ),
         )
 
 
@@ -227,32 +240,39 @@ def _evaluate(
     spmv_a_cost: KernelCost,
     config: ExperimentConfig,
 ) -> MethodRun:
-    result = pcg(
-        a, b,
-        preconditioner=setup.application,
-        rtol=config.rtol,
-        max_iterations=config.max_iterations,
-        record_history=False,
-    )
-    app_cost = model.fsai_application_cost(
-        setup.application.g_pattern, setup.application.gt_pattern
-    )
-    vector_seconds = (12 * 8 * a.n_rows) / model.machine.memory_bandwidth_bps
-    iter_seconds = spmv_a_cost.seconds + app_cost.seconds + vector_seconds
-    x_misses = app_cost.bytes_x_misses // model.machine.line_bytes
-    return MethodRun(
+    with trace.span(
+        "case.evaluate",
         method=setup.method,
         filter_value=setup.filter_value,
-        iterations=result.iterations,
-        converged=result.converged,
-        relative_residual=result.relative_residual,
-        setup_seconds=model.setup_seconds(setup),
-        solve_seconds=result.iterations * iter_seconds,
-        g_nnz=setup.final_pattern.nnz,
-        pct_nnz=setup.nnz_increase_pct,
-        x_misses_per_g_nnz=x_misses / setup.final_pattern.nnz,
-        gflops=app_cost.gflops(),
-    )
+    ):
+        result = pcg(
+            a, b,
+            preconditioner=setup.application,
+            rtol=config.rtol,
+            max_iterations=config.max_iterations,
+            record_history=False,
+        )
+        app_cost = model.fsai_application_cost(
+            setup.application.g_pattern, setup.application.gt_pattern
+        )
+        vector_seconds = (12 * 8 * a.n_rows) / model.machine.memory_bandwidth_bps
+        iter_seconds = spmv_a_cost.seconds + app_cost.seconds + vector_seconds
+        x_misses = app_cost.bytes_x_misses // model.machine.line_bytes
+        if trace.enabled():
+            trace.add_counter("pattern.final_nnz", setup.final_pattern.nnz)
+        return MethodRun(
+            method=setup.method,
+            filter_value=setup.filter_value,
+            iterations=result.iterations,
+            converged=result.converged,
+            relative_residual=result.relative_residual,
+            setup_seconds=model.setup_seconds(setup),
+            solve_seconds=result.iterations * iter_seconds,
+            g_nnz=setup.final_pattern.nnz,
+            pct_nnz=setup.nnz_increase_pct,
+            x_misses_per_g_nnz=x_misses / setup.final_pattern.nnz,
+            gflops=app_cost.gflops(),
+        )
 
 
 def run_case(
@@ -265,15 +285,37 @@ def run_case(
 
     ``a`` can be passed to reuse an already-built matrix (campaign code
     shares it across machines).
+
+    When tracing is enabled (``trace.collecting()``), the whole grid runs
+    under a root ``"case"`` span whose tree is attached to the returned
+    result as :attr:`CaseResult.trace_summary` — this is how per-case span
+    trees survive serialisation through orchestrator shard records.
     """
-    a = a if a is not None else case.build()
-    b = make_rhs(a, config.rhs_seed + case.case_id)
-    machine = config.machine_model()
-    placement = ArrayPlacement.aligned(machine.line_bytes)
-    model = CostModel(
-        machine, cache_scale=config.cache_scale, placement=placement
-    )
-    spmv_a_cost = model.spmv_cost(a.pattern)
+    if not trace.enabled():
+        return _run_case(case, config, a=a)
+    with trace.span(
+        "case", case_id=case.case_id, case_name=case.name, machine=config.machine
+    ) as root:
+        result = _run_case(case, config, a=a)
+    result.trace_summary = TraceSummary.from_span(root)
+    return result
+
+
+def _run_case(
+    case: MatrixCase,
+    config: ExperimentConfig,
+    *,
+    a: Optional[CSRMatrix] = None,
+) -> CaseResult:
+    with trace.span("case.prepare"):
+        a = a if a is not None else case.build()
+        b = make_rhs(a, config.rhs_seed + case.case_id)
+        machine = config.machine_model()
+        placement = ArrayPlacement.aligned(machine.line_bytes)
+        model = CostModel(
+            machine, cache_scale=config.cache_scale, placement=placement
+        )
+        spmv_a_cost = model.spmv_cost(a.pattern)
 
     baseline_setup = setup_fsai(a)
     baseline = _evaluate(a, b, baseline_setup, model, spmv_a_cost, config)

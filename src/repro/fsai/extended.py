@@ -29,6 +29,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import trace
 from repro.arch.address import ArrayPlacement
 from repro.fsai.fillin import extend_pattern_cache_friendly
 from repro.fsai.filtering import filter_extension_by_precalc
@@ -126,17 +127,18 @@ def setup_fsai(
     threshold: float = 0.0,
 ) -> FSAISetup:
     """Baseline FSAI (paper Alg. 1 in the §7.1 configuration)."""
-    base = _base(a, level, threshold)
-    g = compute_g(a, base).prune_zeros()
-    final = g.pattern
-    return FSAISetup(
-        method="fsai",
-        application=FSAIApplication(g),
-        base_pattern=base,
-        final_pattern=final,
-        flops={"direct": setup_flops_direct(base)},
-        filter_value=None,
-    )
+    with trace.span("fsai.setup", method="fsai", n=a.n_rows):
+        base = _base(a, level, threshold)
+        g = compute_g(a, base).prune_zeros()
+        final = g.pattern
+        return FSAISetup(
+            method="fsai",
+            application=FSAIApplication(g),
+            base_pattern=base,
+            final_pattern=final,
+            flops={"direct": setup_flops_direct(base)},
+            filter_value=None,
+        )
 
 
 def setup_fsaie_sp(
@@ -155,24 +157,29 @@ def setup_fsaie_sp(
     extension *also* improves temporal locality of ``G^T q`` for free
     (§4.3).
     """
-    base = _base(a, level, threshold)
-    extended = extend_pattern_cache_friendly(base, placement, triangular="lower")
-    g_approx = precalculate_g(
-        a, extended, rtol=precalc_rtol, max_iterations=precalc_iterations
-    )
-    s_ext = filter_extension_by_precalc(g_approx, base, filter_value)
-    g = compute_g(a, s_ext)
-    return FSAISetup(
-        method="fsaie_sp",
-        application=FSAIApplication(g),
-        base_pattern=base,
-        final_pattern=s_ext,
-        flops={
-            "precalc1": setup_flops_precalc(extended, precalc_iterations),
-            "direct": setup_flops_direct(s_ext),
-        },
-        filter_value=filter_value,
-    )
+    with trace.span(
+        "fsai.setup", method="fsaie_sp", n=a.n_rows, filter_value=filter_value
+    ):
+        base = _base(a, level, threshold)
+        extended = extend_pattern_cache_friendly(
+            base, placement, triangular="lower"
+        )
+        g_approx = precalculate_g(
+            a, extended, rtol=precalc_rtol, max_iterations=precalc_iterations
+        )
+        s_ext = filter_extension_by_precalc(g_approx, base, filter_value)
+        g = compute_g(a, s_ext)
+        return FSAISetup(
+            method="fsaie_sp",
+            application=FSAIApplication(g),
+            base_pattern=base,
+            final_pattern=s_ext,
+            flops={
+                "precalc1": setup_flops_precalc(extended, precalc_iterations),
+                "direct": setup_flops_direct(s_ext),
+            },
+            filter_value=filter_value,
+        )
 
 
 def setup_fsaie_full(
@@ -191,36 +198,39 @@ def setup_fsaie_full(
     first extension, which is what keeps every added entry cache-friendly
     for its own product.
     """
-    base = _base(a, level, threshold)
-    # Steps 3-4: extend G's pattern, precalculate, filter.
-    ext1 = extend_pattern_cache_friendly(base, placement, triangular="lower")
-    g_approx1 = precalculate_g(
-        a, ext1, rtol=precalc_rtol, max_iterations=precalc_iterations
-    )
-    s_ext = filter_extension_by_precalc(g_approx1, base, filter_value)
-    # Steps 5-6: extend (S_ext)^T, precalculate, filter.
-    ext2_t = extend_pattern_cache_friendly(
-        s_ext.transpose(), placement, triangular="upper"
-    )
-    ext2 = ext2_t.transpose()  # back to the lower-triangular world of G
-    g_approx2 = precalculate_g(
-        a, ext2, rtol=precalc_rtol, max_iterations=precalc_iterations
-    )
-    final = filter_extension_by_precalc(g_approx2, s_ext, filter_value)
-    # Step 7: exact G on the final pattern.
-    g = compute_g(a, final)
-    return FSAISetup(
-        method="fsaie_full",
-        application=FSAIApplication(g),
-        base_pattern=base,
-        final_pattern=final,
-        flops={
-            "precalc1": setup_flops_precalc(ext1, precalc_iterations),
-            "precalc2": setup_flops_precalc(ext2, precalc_iterations),
-            "direct": setup_flops_direct(final),
-        },
-        filter_value=filter_value,
-    )
+    with trace.span(
+        "fsai.setup", method="fsaie_full", n=a.n_rows, filter_value=filter_value
+    ):
+        base = _base(a, level, threshold)
+        # Steps 3-4: extend G's pattern, precalculate, filter.
+        ext1 = extend_pattern_cache_friendly(base, placement, triangular="lower")
+        g_approx1 = precalculate_g(
+            a, ext1, rtol=precalc_rtol, max_iterations=precalc_iterations
+        )
+        s_ext = filter_extension_by_precalc(g_approx1, base, filter_value)
+        # Steps 5-6: extend (S_ext)^T, precalculate, filter.
+        ext2_t = extend_pattern_cache_friendly(
+            s_ext.transpose(), placement, triangular="upper"
+        )
+        ext2 = ext2_t.transpose()  # back to the lower-triangular world of G
+        g_approx2 = precalculate_g(
+            a, ext2, rtol=precalc_rtol, max_iterations=precalc_iterations
+        )
+        final = filter_extension_by_precalc(g_approx2, s_ext, filter_value)
+        # Step 7: exact G on the final pattern.
+        g = compute_g(a, final)
+        return FSAISetup(
+            method="fsaie_full",
+            application=FSAIApplication(g),
+            base_pattern=base,
+            final_pattern=final,
+            flops={
+                "precalc1": setup_flops_precalc(ext1, precalc_iterations),
+                "precalc2": setup_flops_precalc(ext2, precalc_iterations),
+                "direct": setup_flops_direct(final),
+            },
+            filter_value=filter_value,
+        )
 
 
 def setup_fsaie_joint(
@@ -242,28 +252,31 @@ def setup_fsaie_joint(
     product never touched (and vice versa after filtering).  The ablation
     bench quantifies the resulting miss increase.
     """
-    base = _base(a, level, threshold)
-    ext_g = extend_pattern_cache_friendly(base, placement, triangular="lower")
-    ext_gt = extend_pattern_cache_friendly(
-        base.transpose(), placement, triangular="upper"
-    ).transpose()
-    joint = ext_g.union(ext_gt)
-    g_approx = precalculate_g(
-        a, joint, rtol=precalc_rtol, max_iterations=precalc_iterations
-    )
-    final = filter_extension_by_precalc(g_approx, base, filter_value)
-    g = compute_g(a, final)
-    return FSAISetup(
-        method="fsaie_joint",
-        application=FSAIApplication(g),
-        base_pattern=base,
-        final_pattern=final,
-        flops={
-            "precalc1": setup_flops_precalc(joint, precalc_iterations),
-            "direct": setup_flops_direct(final),
-        },
-        filter_value=filter_value,
-    )
+    with trace.span(
+        "fsai.setup", method="fsaie_joint", n=a.n_rows, filter_value=filter_value
+    ):
+        base = _base(a, level, threshold)
+        ext_g = extend_pattern_cache_friendly(base, placement, triangular="lower")
+        ext_gt = extend_pattern_cache_friendly(
+            base.transpose(), placement, triangular="upper"
+        ).transpose()
+        joint = ext_g.union(ext_gt)
+        g_approx = precalculate_g(
+            a, joint, rtol=precalc_rtol, max_iterations=precalc_iterations
+        )
+        final = filter_extension_by_precalc(g_approx, base, filter_value)
+        g = compute_g(a, final)
+        return FSAISetup(
+            method="fsaie_joint",
+            application=FSAIApplication(g),
+            base_pattern=base,
+            final_pattern=final,
+            flops={
+                "precalc1": setup_flops_precalc(joint, precalc_iterations),
+                "direct": setup_flops_direct(final),
+            },
+            filter_value=filter_value,
+        )
 
 
 def setup_fsaie_random(
@@ -279,16 +292,17 @@ def setup_fsaie_random(
     it), and the exact ``G`` is computed on it — so any performance gap to
     the reference is attributable purely to *where* the entries sit.
     """
-    base = reference.base_pattern
-    random_pattern = extend_pattern_random(
-        base, reference.added_per_row(), triangular="lower", seed=seed
-    )
-    g = compute_g(a, random_pattern)
-    return FSAISetup(
-        method="fsaie_random",
-        application=FSAIApplication(g),
-        base_pattern=base,
-        final_pattern=random_pattern,
-        flops={"direct": setup_flops_direct(random_pattern)},
-        filter_value=reference.filter_value,
-    )
+    with trace.span("fsai.setup", method="fsaie_random", n=a.n_rows):
+        base = reference.base_pattern
+        random_pattern = extend_pattern_random(
+            base, reference.added_per_row(), triangular="lower", seed=seed
+        )
+        g = compute_g(a, random_pattern)
+        return FSAISetup(
+            method="fsaie_random",
+            application=FSAIApplication(g),
+            base_pattern=base,
+            final_pattern=random_pattern,
+            flops={"direct": setup_flops_direct(random_pattern)},
+            filter_value=reference.filter_value,
+        )

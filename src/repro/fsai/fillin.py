@@ -20,6 +20,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro import trace
 from repro.arch.address import ArrayPlacement
 from repro.errors import PatternError
 from repro.sparse.pattern import Pattern
@@ -63,35 +64,43 @@ def extend_pattern_cache_friendly(
     if pattern.nnz == 0:
         return pattern
 
-    epl = placement.elements_per_line
-    offset = placement.element_offset
-    n_cols = pattern.n_cols
+    with trace.span(
+        "fsai.extension", triangular=triangular, nnz=pattern.nnz
+    ):
+        epl = placement.elements_per_line
+        offset = placement.element_offset
+        n_cols = pattern.n_cols
 
-    rows, cols = pattern.coo()
-    lines = (cols + offset) // epl
-    # Unique (row, line) pairs == the "already considered column block" skip
-    # of Algorithm 3 lines 6-8, applied globally.
-    pair_keys = rows * ((n_cols + offset) // epl + 1) + lines
-    _, first_idx = np.unique(pair_keys, return_index=True)
-    pair_rows = rows[first_idx]
-    pair_lines = lines[first_idx]
+        rows, cols = pattern.coo()
+        lines = (cols + offset) // epl
+        # Unique (row, line) pairs == the "already considered column block"
+        # skip of Algorithm 3 lines 6-8, applied globally.
+        pair_keys = rows * ((n_cols + offset) // epl + 1) + lines
+        _, first_idx = np.unique(pair_keys, return_index=True)
+        pair_rows = rows[first_idx]
+        pair_lines = lines[first_idx]
 
-    # Expand each pair into its column block [line*epl - offset, ... + epl-1].
-    starts = pair_lines * epl - offset
-    block = starts[:, None] + np.arange(epl, dtype=np.int64)[None, :]
-    block_rows = np.broadcast_to(pair_rows[:, None], block.shape)
+        # Expand pairs into column blocks [line*epl - offset, ... + epl-1].
+        starts = pair_lines * epl - offset
+        block = starts[:, None] + np.arange(epl, dtype=np.int64)[None, :]
+        block_rows = np.broadcast_to(pair_rows[:, None], block.shape)
 
-    flat_cols = block.ravel()
-    flat_rows = block_rows.ravel()
-    valid = (flat_cols >= 0) & (flat_cols < n_cols)
-    if triangular == "lower":
-        valid &= flat_cols <= flat_rows
-    elif triangular == "upper":
-        valid &= flat_cols >= flat_rows
+        flat_cols = block.ravel()
+        flat_rows = block_rows.ravel()
+        valid = (flat_cols >= 0) & (flat_cols < n_cols)
+        if triangular == "lower":
+            valid &= flat_cols <= flat_rows
+        elif triangular == "upper":
+            valid &= flat_cols >= flat_rows
 
-    all_rows = np.concatenate([rows, flat_rows[valid]])
-    all_cols = np.concatenate([cols, flat_cols[valid]])
-    return Pattern.from_coo(pattern.n_rows, n_cols, all_rows, all_cols)
+        all_rows = np.concatenate([rows, flat_rows[valid]])
+        all_cols = np.concatenate([cols, flat_cols[valid]])
+        extended = Pattern.from_coo(pattern.n_rows, n_cols, all_rows, all_cols)
+        if trace.enabled():
+            trace.add_counter(
+                "pattern.entries_added", int(extended.nnz - pattern.nnz)
+            )
+        return extended
 
 
 def extension_entries(base: Pattern, extended: Pattern) -> Pattern:

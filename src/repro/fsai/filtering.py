@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import trace
 from repro.errors import PatternError, ShapeError
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.pattern import Pattern
@@ -90,18 +91,26 @@ def filter_extension_by_precalc(
     ext_pattern = g_approx.pattern
     if not base.is_subset_of(ext_pattern):
         raise PatternError("base pattern is not contained in the precalculated one")
-    weak = weak_entry_mask(g_approx, filter_value)
+    with trace.span(
+        "fsai.filtering", filter_value=filter_value, nnz=ext_pattern.nnz
+    ):
+        weak = weak_entry_mask(g_approx, filter_value)
 
-    # Immunise base entries.
-    rows = g_approx.row_ids()
-    cols = g_approx.indices
-    keys = rows * ext_pattern.n_cols + cols
-    base_keys = base._keys()
-    in_base = np.isin(keys, base_keys, assume_unique=True)
-    keep = in_base | ~weak
-    return Pattern.from_coo(
-        ext_pattern.n_rows, ext_pattern.n_cols, rows[keep], cols[keep]
-    )
+        # Immunise base entries.
+        rows = g_approx.row_ids()
+        cols = g_approx.indices
+        keys = rows * ext_pattern.n_cols + cols
+        base_keys = base._keys()
+        in_base = np.isin(keys, base_keys, assume_unique=True)
+        keep = in_base | ~weak
+        if trace.enabled():
+            trace.add_counter("pattern.entries_examined", ext_pattern.nnz)
+            trace.add_counter(
+                "pattern.entries_filtered", int(ext_pattern.nnz - keep.sum())
+            )
+        return Pattern.from_coo(
+            ext_pattern.n_rows, ext_pattern.n_cols, rows[keep], cols[keep]
+        )
 
 
 def standard_post_filter(

@@ -27,6 +27,7 @@ from typing import List
 
 import numpy as np
 
+from repro import trace
 from repro._typing import FloatArray, IndexArray
 from repro.errors import ConfigurationError, NotSPDError, PatternError, ShapeError
 from repro.solvers.direct import solve_spd_batched, solve_spd_stacked
@@ -196,29 +197,34 @@ def compute_g(
     property tests assert over the generator collection.
     """
     _check_pattern(a, pattern)
-    if _check_backend(backend) == "reference":
-        systems, rhs = gather_local_systems(a, pattern)
-        solutions = solve_spd_batched(systems, rhs)
-        return _assemble_g(pattern, solutions)
-    buckets = gather_local_systems_bucketed(a, pattern)
-    solved = [
-        (b, solve_spd_stacked(b.systems, b.rhs, system_ids=b.rows))
-        for b in buckets
-    ]
-    pivots = np.empty(pattern.n_rows)
-    for b, sol in solved:
-        pivots[b.rows] = sol[:, -1]
-    bad = ~((pivots > 0) & np.isfinite(pivots))
-    if bad.any():
-        i = int(np.flatnonzero(bad)[0])
-        raise NotSPDError(
-            f"row {i}: non-positive diagonal solution {pivots[i]:.3e} "
-            "(matrix restriction not SPD)"
-        )
-    data = np.empty(pattern.nnz)
-    for b, sol in solved:
-        _scatter_rows(data, pattern, b, sol / np.sqrt(sol[:, -1])[:, None])
-    return CSRMatrix.from_pattern(pattern, data)
+    with trace.span(
+        "fsai.frobenius", rows=pattern.n_rows, nnz=pattern.nnz, backend=backend
+    ):
+        if trace.enabled():
+            trace.add_counter("fsai.frobenius_flops", setup_flops_direct(pattern))
+        if _check_backend(backend) == "reference":
+            systems, rhs = gather_local_systems(a, pattern)
+            solutions = solve_spd_batched(systems, rhs)
+            return _assemble_g(pattern, solutions)
+        buckets = gather_local_systems_bucketed(a, pattern)
+        solved = [
+            (b, solve_spd_stacked(b.systems, b.rhs, system_ids=b.rows))
+            for b in buckets
+        ]
+        pivots = np.empty(pattern.n_rows)
+        for b, sol in solved:
+            pivots[b.rows] = sol[:, -1]
+        bad = ~((pivots > 0) & np.isfinite(pivots))
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            raise NotSPDError(
+                f"row {i}: non-positive diagonal solution {pivots[i]:.3e} "
+                "(matrix restriction not SPD)"
+            )
+        data = np.empty(pattern.nnz)
+        for b, sol in solved:
+            _scatter_rows(data, pattern, b, sol / np.sqrt(sol[:, -1])[:, None])
+        return CSRMatrix.from_pattern(pattern, data)
 
 
 def precalculate_g(
@@ -243,42 +249,49 @@ def precalculate_g(
     bit-identical either way.
     """
     _check_pattern(a, pattern)
-    if _check_backend(backend) == "reference":
-        systems, rhs = gather_local_systems(a, pattern)
-        solutions = solve_spd_approximate_batched(
-            systems, rhs, rtol=rtol, max_iterations=max_iterations
-        )
+    with trace.span(
+        "fsai.precalc", rows=pattern.n_rows, nnz=pattern.nnz, backend=backend
+    ):
+        if trace.enabled():
+            trace.add_counter(
+                "fsai.precalc_flops", setup_flops_precalc(pattern, max_iterations)
+            )
+        if _check_backend(backend) == "reference":
+            systems, rhs = gather_local_systems(a, pattern)
+            solutions = solve_spd_approximate_batched(
+                systems, rhs, rtol=rtol, max_iterations=max_iterations
+            )
+            diag = a.diagonal()
+            data = np.empty(pattern.nnz)
+            for i, sol in enumerate(solutions):
+                lo, hi = pattern.indptr[i], pattern.indptr[i + 1]
+                pivot = sol[-1]
+                if pivot <= 0 or not np.isfinite(pivot):
+                    fallback = np.zeros(hi - lo)
+                    fallback[-1] = 1.0 / np.sqrt(diag[i]) if diag[i] > 0 else 1.0
+                    data[lo:hi] = fallback
+                else:
+                    data[lo:hi] = sol / np.sqrt(pivot)
+            return CSRMatrix.from_pattern(pattern, data)
+        buckets = gather_local_systems_bucketed(a, pattern)
         diag = a.diagonal()
         data = np.empty(pattern.nnz)
-        for i, sol in enumerate(solutions):
-            lo, hi = pattern.indptr[i], pattern.indptr[i + 1]
-            pivot = sol[-1]
-            if pivot <= 0 or not np.isfinite(pivot):
-                fallback = np.zeros(hi - lo)
-                fallback[-1] = 1.0 / np.sqrt(diag[i]) if diag[i] > 0 else 1.0
-                data[lo:hi] = fallback
-            else:
-                data[lo:hi] = sol / np.sqrt(pivot)
+        for b in buckets:
+            sol = solve_spd_approximate_stacked(
+                b.systems, b.rhs, rtol=rtol, max_iterations=max_iterations
+            )
+            pivot = sol[:, -1]
+            good = (pivot > 0) & np.isfinite(pivot)
+            values = np.zeros_like(sol)
+            values[good] = sol[good] / np.sqrt(pivot[good])[:, None]
+            if not good.all():
+                fb_diag = diag[b.rows[~good]]
+                fb = np.ones(len(fb_diag))
+                positive = fb_diag > 0
+                fb[positive] = 1.0 / np.sqrt(fb_diag[positive])
+                values[~good, -1] = fb
+            _scatter_rows(data, pattern, b, values)
         return CSRMatrix.from_pattern(pattern, data)
-    buckets = gather_local_systems_bucketed(a, pattern)
-    diag = a.diagonal()
-    data = np.empty(pattern.nnz)
-    for b in buckets:
-        sol = solve_spd_approximate_stacked(
-            b.systems, b.rhs, rtol=rtol, max_iterations=max_iterations
-        )
-        pivot = sol[:, -1]
-        good = (pivot > 0) & np.isfinite(pivot)
-        values = np.zeros_like(sol)
-        values[good] = sol[good] / np.sqrt(pivot[good])[:, None]
-        if not good.all():
-            fb_diag = diag[b.rows[~good]]
-            fb = np.ones(len(fb_diag))
-            positive = fb_diag > 0
-            fb[positive] = 1.0 / np.sqrt(fb_diag[positive])
-            values[~good, -1] = fb
-        _scatter_rows(data, pattern, b, values)
-    return CSRMatrix.from_pattern(pattern, data)
 
 
 def setup_flops_direct(pattern: Pattern) -> int:

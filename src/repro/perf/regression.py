@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.perf.metrics import OrchestrationMetrics
+from repro.trace import TraceSummary
 
 __all__ = ["RegressionComponent", "RegressionRecord"]
 
@@ -69,6 +70,8 @@ class RegressionRecord:
     components: List[RegressionComponent] = field(default_factory=list)
     #: Optional campaign-throughput block (set by orchestrated runs).
     orchestration: Optional[OrchestrationMetrics] = None
+    #: Optional phase breakdown of the benched workload (``repro.trace``).
+    trace_summary: Optional[TraceSummary] = None
 
     @property
     def reference_total(self) -> float:
@@ -98,6 +101,8 @@ class RegressionRecord:
         }
         if self.orchestration is not None:
             payload["orchestration"] = self.orchestration.to_dict()
+        if self.trace_summary is not None:
+            payload["trace_summary"] = self.trace_summary.to_dict()
         return payload
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -123,6 +128,11 @@ class RegressionRecord:
             orchestration=(
                 OrchestrationMetrics.from_dict(payload["orchestration"])
                 if "orchestration" in payload
+                else None
+            ),
+            trace_summary=(
+                TraceSummary.from_dict(payload["trace_summary"])
+                if "trace_summary" in payload
                 else None
             ),
         )

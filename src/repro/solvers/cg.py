@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import trace
 from repro._typing import FloatArray
 from repro.errors import ShapeError
 from repro.solvers.convergence import ConvergenceHistory, SolveResult
@@ -71,6 +72,37 @@ def pcg(
     record_history:
         Store the full residual trace in the result.
     """
+    if not trace.enabled():
+        return _pcg(
+            a, b, preconditioner=preconditioner, x0=x0, rtol=rtol, atol=atol,
+            max_iterations=max_iterations, record_history=record_history,
+        )
+    with trace.span(
+        "solvers.cg",
+        n=a.n_rows,
+        nnz=a.nnz,
+        preconditioned=preconditioner is not None,
+    ):
+        result = _pcg(
+            a, b, preconditioner=preconditioner, x0=x0, rtol=rtol, atol=atol,
+            max_iterations=max_iterations, record_history=record_history,
+        )
+        trace.add_counter("cg.flops", result.flops)
+        trace.set_attr("converged", result.converged)
+    return result
+
+
+def _pcg(
+    a: CSRMatrix,
+    b: FloatArray,
+    *,
+    preconditioner: Optional[Preconditioner],
+    x0: Optional[FloatArray],
+    rtol: float,
+    atol: float,
+    max_iterations: int,
+    record_history: bool,
+) -> SolveResult:
     if a.n_rows != a.n_cols:
         raise ShapeError(f"CG needs a square matrix, got {a.shape}")
     n = a.n_rows
@@ -121,6 +153,7 @@ def pcg(
     # gather/product temporary is the last remaining per-iteration allocation.
     spmv_scratch = np.empty(a.nnz)
     for iterations in range(1, max_iterations + 1):
+        trace.add_counter("cg.iterations")  # no-op unless tracing is on
         q = a.matvec(d, scratch=spmv_scratch)
         dq = float(d @ q)
         flops += spmv_flops + 2 * n

@@ -14,6 +14,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro import trace
 from repro._typing import FloatArray
 from repro.errors import ShapeError
 
@@ -97,31 +98,35 @@ def solve_spd_approximate_stacked(
     X = np.zeros((m, k))
     if m == 0 or k == 0:
         return X
-    R = B.copy()
-    norm0 = np.linalg.norm(R, axis=1)
-    active = norm0 > 0
-    D = R.copy()
-    rho = np.einsum("ij,ij->i", R, R)
-    for _ in range(max_iterations):
-        if not active.any():
-            break
-        Q = np.einsum("ijk,ik->ij", A, D)
-        dq = np.einsum("ij,ij->i", D, Q)
-        ok = active & (dq > 0)
-        if not ok.any():
-            break
-        alpha = np.zeros(m)
-        alpha[ok] = rho[ok] / dq[ok]
-        X += alpha[:, None] * D
-        R -= alpha[:, None] * Q
-        res = np.linalg.norm(R, axis=1)
-        active = ok & (res > rtol * norm0)
-        rho_new = np.einsum("ij,ij->i", R, R)
-        beta = np.zeros(m)
-        nz = rho > 0
-        beta[nz] = rho_new[nz] / rho[nz]
-        D = R + beta[:, None] * D
-        rho = rho_new
+    with trace.span("solvers.local_cg", systems=m, size=k):
+        R = B.copy()
+        norm0 = np.linalg.norm(R, axis=1)
+        active = norm0 > 0
+        D = R.copy()
+        rho = np.einsum("ij,ij->i", R, R)
+        for _ in range(max_iterations):
+            if not active.any():
+                break
+            if trace.enabled():
+                trace.add_counter("local_cg.iterations")
+                trace.add_counter("local_cg.active_systems", int(active.sum()))
+            Q = np.einsum("ijk,ik->ij", A, D)
+            dq = np.einsum("ij,ij->i", D, Q)
+            ok = active & (dq > 0)
+            if not ok.any():
+                break
+            alpha = np.zeros(m)
+            alpha[ok] = rho[ok] / dq[ok]
+            X += alpha[:, None] * D
+            R -= alpha[:, None] * Q
+            res = np.linalg.norm(R, axis=1)
+            active = ok & (res > rtol * norm0)
+            rho_new = np.einsum("ij,ij->i", R, R)
+            beta = np.zeros(m)
+            nz = rho > 0
+            beta[nz] = rho_new[nz] / rho[nz]
+            D = R + beta[:, None] * D
+            rho = rho_new
     return X
 
 

@@ -1,0 +1,59 @@
+"""``repro.trace`` — zero-dependency structured tracing and counters.
+
+Usage::
+
+    from repro import trace
+
+    with trace.collecting() as collector:        # enable + fresh collector
+        with trace.span("fsai.setup", rows=n):   # hierarchical spans
+            trace.add_counter("flops", 123)      # typed counters
+    summary = trace.TraceSummary.from_collector(collector)
+    trace.write_json("trace.json", summary)
+    trace.write_chrome_trace("trace.chrome.json", summary)
+
+Tracing is **off by default** and the disabled fast path is a single
+boolean check (asserted < 1 µs per no-op span by the overhead test), so
+hot paths stay instrumented unconditionally.  See ``docs/tracing.md``.
+"""
+
+from repro.trace.core import (
+    Collector,
+    SpanRecord,
+    add_counter,
+    collecting,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    event,
+    set_attr,
+    span,
+)
+from repro.trace.export import (
+    JSON_SCHEMA,
+    to_chrome_trace,
+    to_json_dict,
+    write_chrome_trace,
+    write_json,
+)
+from repro.trace.summary import TraceSummary
+
+__all__ = [
+    "Collector",
+    "SpanRecord",
+    "TraceSummary",
+    "JSON_SCHEMA",
+    "add_counter",
+    "collecting",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "set_attr",
+    "span",
+    "to_chrome_trace",
+    "to_json_dict",
+    "write_chrome_trace",
+    "write_json",
+]

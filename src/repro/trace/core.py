@@ -1,0 +1,305 @@
+"""Structured tracing core: hierarchical spans, typed counters, collector.
+
+Design constraints (in priority order):
+
+1. **Zero cost when off.**  Tracing is disabled by default; ``span()``
+   then returns a shared no-op context manager and ``add_counter()``
+   returns after one module-global boolean check.  The overhead test
+   asserts a disabled span costs well under a microsecond, so hot loops
+   (CG iterations, per-trace cache replays) can stay instrumented
+   unconditionally.
+2. **Hierarchy via context variables.**  The current-span stack lives in a
+   :class:`contextvars.ContextVar`, so spans nest correctly per thread
+   (and per asyncio task, should one appear) without any locking on the
+   enter/exit path.
+3. **Thread/process safety.**  Finished root spans are appended to the
+   active :class:`Collector` under a lock (threads share one collector).
+   Worker *processes* serialise their span trees with
+   :meth:`SpanRecord.to_dict` and ship them through the orchestrator's
+   existing JSONL shard records; nothing shares mutable state across the
+   process boundary.
+
+The public surface is re-exported by :mod:`repro.trace`; see
+``docs/tracing.md`` for the full API and schema documentation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "SpanRecord",
+    "Collector",
+    "span",
+    "event",
+    "add_counter",
+    "set_attr",
+    "current_span",
+    "enabled",
+    "enable",
+    "disable",
+    "collecting",
+]
+
+#: Counter values are plain numbers; attrs may also carry short strings.
+CounterValue = Union[int, float]
+AttrValue = Union[int, float, str, bool, None]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or in-flight) span: a named, timed tree node.
+
+    ``start`` is seconds since the owning collector's epoch
+    (``time.perf_counter`` based, so only differences are meaningful);
+    ``duration`` is -1.0 while the span is still open.
+    """
+
+    name: str
+    start: float
+    duration: float = -1.0
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+    counters: Dict[str, CounterValue] = field(default_factory=dict)
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    def add_counter(self, name: str, value: CounterValue = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def total_counters(self) -> Dict[str, CounterValue]:
+        """Counter totals over this span and all descendants."""
+        totals: Dict[str, CounterValue] = dict(self.counters)
+        for child in self.children:
+            for key, val in child.total_counters().items():
+                totals[key] = totals.get(key, 0) + val
+        return totals
+
+    def iter_spans(self) -> Iterator["SpanRecord"]:
+        """Depth-first pre-order walk over this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def structure(self) -> Tuple[str, Tuple[Any, ...]]:
+        """Timing-free shape of the subtree: ``(name, child structures)``.
+
+        Used by parity tests: a parallel campaign must produce the same
+        span *structure* as a sequential one even though durations differ.
+        """
+        return (self.name, tuple(c.structure() for c in self.children))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_seconds": self.start,
+            "duration_seconds": self.duration,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=str(payload["name"]),
+            start=float(payload["start_seconds"]),
+            duration=float(payload["duration_seconds"]),
+            attrs=dict(payload.get("attrs", {})),
+            counters=dict(payload.get("counters", {})),
+            children=[cls.from_dict(c) for c in payload.get("children", [])],
+        )
+
+
+class Collector:
+    """Thread-safe sink for finished root spans and span-less counters."""
+
+    def __init__(self) -> None:
+        self.epoch: float = time.perf_counter()
+        self.roots: List[SpanRecord] = []
+        #: Counters recorded while no span was open (e.g. scheduler-level).
+        self.counters: Dict[str, CounterValue] = {}
+        self._lock = threading.Lock()
+
+    def add_root(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.roots.append(record)
+
+    def add_counter(self, name: str, value: CounterValue = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def total_counters(self) -> Dict[str, CounterValue]:
+        """Counter totals over every recorded span plus loose counters."""
+        totals: Dict[str, CounterValue] = dict(self.counters)
+        for root in self.roots:
+            for key, val in root.total_counters().items():
+                totals[key] = totals.get(key, 0) + val
+        return totals
+
+
+# ----------------------------------------------------------------------
+# Module state — the fast path reads one boolean.
+# ----------------------------------------------------------------------
+_enabled: bool = False
+_collector: Optional[Collector] = None
+_stack: ContextVar[Tuple[SpanRecord, ...]] = ContextVar(
+    "repro_trace_stack", default=()
+)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def add_counter(self, name: str, value: CounterValue = 1) -> None:
+        pass
+
+    def set_attr(self, name: str, value: AttrValue) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one :class:`SpanRecord` into the tree."""
+
+    __slots__ = ("record", "_token", "_t0")
+
+    def __init__(self, name: str, attrs: Dict[str, AttrValue]) -> None:
+        self.record = SpanRecord(name=name, start=0.0, attrs=attrs)
+        self._token = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> SpanRecord:
+        collector = _collector
+        epoch = collector.epoch if collector is not None else 0.0
+        self._token = _stack.set(_stack.get() + (self.record,))
+        self._t0 = time.perf_counter()
+        self.record.start = self._t0 - epoch
+        return self.record
+
+    def __exit__(self, *exc: object) -> bool:
+        self.record.duration = time.perf_counter() - self._t0
+        if self._token is not None:
+            _stack.reset(self._token)
+        stack = _stack.get()
+        if stack:
+            stack[-1].children.append(self.record)
+        elif _collector is not None:
+            _collector.add_root(self.record)
+        return False
+
+
+def enabled() -> bool:
+    """True while a collector is installed and tracing is on."""
+    return _enabled
+
+
+def span(name: str, **attrs: AttrValue):
+    """Open a hierarchical span: ``with trace.span("fsai.setup", rows=n):``.
+
+    Returns a context manager.  When tracing is enabled, entering yields
+    the live :class:`SpanRecord` (so callers may attach counters/attrs
+    directly); when disabled, a shared no-op object with the same methods.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _LiveSpan(name, attrs)
+
+
+def event(name: str, seconds: float, **attrs: AttrValue) -> None:
+    """Record an already-measured span of known duration.
+
+    Used where the timing exists before the trace record can (e.g. the
+    orchestrator learns a case's elapsed time from the worker process).
+    The event is attached at the current stack position like a span that
+    just closed.
+    """
+    if not _enabled:
+        return
+    collector = _collector
+    now = time.perf_counter()
+    epoch = collector.epoch if collector is not None else 0.0
+    record = SpanRecord(
+        name=name, start=now - epoch - seconds, duration=seconds, attrs=attrs
+    )
+    stack = _stack.get()
+    if stack:
+        stack[-1].children.append(record)
+    elif collector is not None:
+        collector.add_root(record)
+
+
+def add_counter(name: str, value: CounterValue = 1) -> None:
+    """Add ``value`` to counter ``name`` on the innermost open span.
+
+    Counters recorded outside any span accumulate on the collector
+    itself.  No-op (one boolean check) while tracing is disabled.
+    """
+    if not _enabled:
+        return
+    stack = _stack.get()
+    if stack:
+        stack[-1].add_counter(name, value)
+    elif _collector is not None:
+        _collector.add_counter(name, value)
+
+
+def set_attr(name: str, value: AttrValue) -> None:
+    """Set an attribute on the innermost open span (no-op when disabled)."""
+    if not _enabled:
+        return
+    stack = _stack.get()
+    if stack:
+        stack[-1].attrs[name] = value
+
+
+def current_span() -> Optional[SpanRecord]:
+    """The innermost open span, or ``None``."""
+    stack = _stack.get()
+    return stack[-1] if stack else None
+
+
+def enable(collector: Optional[Collector] = None) -> Collector:
+    """Install ``collector`` (a fresh one by default) and turn tracing on."""
+    global _enabled, _collector
+    _collector = collector if collector is not None else Collector()
+    _enabled = True
+    return _collector
+
+
+def disable() -> None:
+    """Turn tracing off and detach the collector."""
+    global _enabled, _collector
+    _enabled = False
+    _collector = None
+
+
+@contextmanager
+def collecting(
+    collector: Optional[Collector] = None,
+) -> Iterator[Collector]:
+    """Enable tracing for the duration of the ``with`` block.
+
+    Restores the previous enabled-state and collector on exit, so nested
+    ``collecting()`` blocks each see their own collector.
+    """
+    global _enabled, _collector
+    prev_enabled, prev_collector = _enabled, _collector
+    active = enable(collector)
+    try:
+        yield active
+    finally:
+        _enabled, _collector = prev_enabled, prev_collector

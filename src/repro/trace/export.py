@@ -1,0 +1,106 @@
+"""Trace exporters: stable JSON schema + Chrome-trace event files.
+
+Two output formats, both derivable from a :class:`TraceSummary`:
+
+* **JSON** (``schema: "repro.trace/1"``) — the queryable artifact: the
+  full span forest with attrs/counters, plus pre-aggregated per-phase
+  seconds and counter totals so downstream tooling does not need to walk
+  the tree.  Shape is documented in ``docs/tracing.md`` and treated like
+  ``RegressionRecord``: stable, versioned, diffable.
+* **Chrome trace** — the Trace Event Format consumed by
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_: one
+  complete ("ph": "X") event per span with microsecond timestamps.  Root
+  spans that carry a ``pid``/``tid`` attribute (e.g. per-case trees from
+  orchestrator workers) keep their own lanes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.trace.core import SpanRecord
+from repro.trace.summary import TraceSummary
+
+__all__ = [
+    "JSON_SCHEMA",
+    "to_json_dict",
+    "write_json",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Bumped whenever the JSON export shape changes incompatibly.
+JSON_SCHEMA = "repro.trace/1"
+
+
+def to_json_dict(summary: TraceSummary, *, label: str = "") -> Dict[str, Any]:
+    """Stable JSON shape: schema tag, environment, forest, aggregates."""
+    return {
+        "schema": JSON_SCHEMA,
+        "label": label,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "phase_seconds": summary.phase_seconds(),
+        "counter_totals": summary.counter_totals(),
+        "counters": dict(summary.counters),
+        "spans": [root.to_dict() for root in summary.spans],
+    }
+
+
+def write_json(
+    path: Union[str, Path], summary: TraceSummary, *, label: str = ""
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_json_dict(summary, label=label), indent=2) + "\n")
+    return path
+
+
+def _chrome_args(record: SpanRecord) -> Dict[str, Any]:
+    args: Dict[str, Any] = dict(record.attrs)
+    args.update(record.counters)
+    return args
+
+
+def _emit_events(
+    record: SpanRecord, events: List[Dict[str, Any]], pid: int, tid: int
+) -> None:
+    events.append(
+        {
+            "name": record.name,
+            "ph": "X",
+            "ts": record.start * 1e6,
+            "dur": max(record.duration, 0.0) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "cat": record.name.split(".", 1)[0],
+            "args": _chrome_args(record),
+        }
+    )
+    for child in record.children:
+        _emit_events(child, events, pid, tid)
+
+
+def to_chrome_trace(summary: TraceSummary) -> Dict[str, Any]:
+    """Trace Event Format document (load in Perfetto / chrome://tracing).
+
+    Each root span gets its own ``tid`` lane unless it carries explicit
+    ``pid``/``tid`` attrs (orchestrator workers stamp their own), so
+    per-case trees from different worker processes render side by side.
+    """
+    events: List[Dict[str, Any]] = []
+    for lane, root in enumerate(summary.spans):
+        pid = int(root.attrs.get("pid", 1))  # type: ignore[arg-type]
+        tid = int(root.attrs.get("tid", lane + 1))  # type: ignore[arg-type]
+        _emit_events(root, events, pid, tid)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: Union[str, Path], summary: TraceSummary) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(summary)) + "\n")
+    return path

@@ -1,0 +1,95 @@
+"""Embeddable trace summaries for campaign artifacts.
+
+A :class:`TraceSummary` is the JSON-able distillation of a collector (or a
+single span tree): the serialised span forest plus any collector-level
+counters.  It is small enough to embed in
+:class:`~repro.experiments.runner.CaseResult` and
+:class:`~repro.perf.regression.RegressionRecord` payloads — which is how
+per-case span trees cross the orchestrator's worker-process boundary via
+the existing JSONL shard records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.trace.core import Collector, CounterValue, SpanRecord
+
+__all__ = ["TraceSummary"]
+
+
+@dataclass
+class TraceSummary:
+    """Serialised span forest + loose counters, with aggregation helpers."""
+
+    spans: List[SpanRecord] = field(default_factory=list)
+    counters: Dict[str, CounterValue] = field(default_factory=dict)
+
+    @classmethod
+    def from_collector(cls, collector: Collector) -> "TraceSummary":
+        return cls(spans=list(collector.roots), counters=dict(collector.counters))
+
+    @classmethod
+    def from_span(cls, record: SpanRecord) -> "TraceSummary":
+        return cls(spans=[record])
+
+    def iter_spans(self) -> Iterator[SpanRecord]:
+        for root in self.spans:
+            yield from root.iter_spans()
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Total seconds per span name, summed over the whole forest.
+
+        Parent and child spans both contribute under their own names (a
+        parent's time *includes* its children's) — sum sibling leaf phases,
+        not a parent with its children, when composing percentages.
+        """
+        out: Dict[str, float] = {}
+        for record in self.iter_spans():
+            if record.duration >= 0.0:
+                out[record.name] = out.get(record.name, 0.0) + record.duration
+        return out
+
+    def counter_totals(self) -> Dict[str, CounterValue]:
+        totals: Dict[str, CounterValue] = dict(self.counters)
+        for root in self.spans:
+            for key, val in root.total_counters().items():
+                totals[key] = totals.get(key, 0) + val
+        return totals
+
+    def structure(self) -> Tuple[Any, ...]:
+        """Timing-free forest shape (see :meth:`SpanRecord.structure`)."""
+        return tuple(root.structure() for root in self.spans)
+
+    def total_seconds(self) -> float:
+        """Wall seconds covered by the root spans."""
+        return sum(max(root.duration, 0.0) for root in self.spans)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spans": [root.to_dict() for root in self.spans],
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TraceSummary":
+        return cls(
+            spans=[SpanRecord.from_dict(s) for s in payload.get("spans", [])],
+            counters=dict(payload.get("counters", {})),
+        )
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable phase/counter breakdown for CLI output."""
+        phases = self.phase_seconds()
+        total = self.total_seconds()
+        lines = ["phase breakdown (inclusive seconds):"]
+        for name, seconds in sorted(phases.items(), key=lambda kv: -kv[1]):
+            pct = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(f"  {name:<28} {seconds * 1e3:10.2f} ms  {pct:5.1f}%")
+        counters = self.counter_totals()
+        if counters:
+            lines.append("counters:")
+            for name in sorted(counters):
+                lines.append(f"  {name:<28} {counters[name]:g}")
+        return lines

@@ -1,0 +1,115 @@
+"""Span trees must survive the orchestrator's process boundary (ISSUE 3).
+
+A ``--jobs 2`` campaign runs each case in a forked worker under its own
+trace collector; the resulting :class:`CaseResult.trace_summary` rides the
+existing pipe messages and JSONL checkpoint shards back to the parent.
+The merged per-case span trees must be *structurally* identical to a
+sequential in-process run's — timings differ, shapes may not.
+"""
+
+import json
+
+import pytest
+
+from repro import trace
+from repro.collection.suite import get_case
+from repro.experiments.campaign import run_campaign
+from repro.experiments.orchestrator import run_campaign_parallel
+from repro.experiments.runner import CaseResult, ExperimentConfig, run_case
+from repro.trace import TraceSummary
+
+#: Two-case campaign (ISSUE 3 satellite): small matrices, reduced grid.
+IDS = (37, 52)
+CFG = ExperimentConfig(filters=(0.0, 0.01), methods=("fsaie_sp",))
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    """In-process run of both cases under one collector."""
+    with trace.collecting():
+        campaign = run_campaign(CFG, case_ids=IDS)
+    return {r.case.case_id: r for r in campaign.results}
+
+
+@pytest.fixture(scope="module")
+def parallel(tmp_path_factory):
+    checkpoint_dir = tmp_path_factory.mktemp("trace-ckpt")
+    outcome = run_campaign_parallel(
+        CFG, case_ids=IDS, jobs=2, trace_spans=True,
+        checkpoint_dir=checkpoint_dir,
+    )
+    assert outcome.ok
+    return outcome, checkpoint_dir
+
+
+class TestTracePropagation:
+    def test_sequential_results_carry_summaries(self, sequential):
+        for result in sequential.values():
+            assert result.trace_summary is not None
+            (root,) = result.trace_summary.spans
+            assert root.name == "case"
+
+    def test_parallel_results_carry_summaries(self, parallel):
+        outcome, _ = parallel
+        assert len(outcome.campaign.results) == len(IDS)
+        for result in outcome.campaign.results:
+            assert result.trace_summary is not None
+
+    def test_parallel_trees_match_sequential_structure(
+        self, sequential, parallel
+    ):
+        outcome, _ = parallel
+        for result in outcome.campaign.results:
+            seq = sequential[result.case.case_id]
+            assert (
+                result.trace_summary.structure()
+                == seq.trace_summary.structure()
+            ), f"span tree diverged for case {result.case.case_id}"
+
+    def test_span_tree_attrs_identify_the_case(self, parallel):
+        outcome, _ = parallel
+        for result in outcome.campaign.results:
+            (root,) = result.trace_summary.spans
+            assert root.attrs["case_id"] == result.case.case_id
+            assert root.duration > 0.0
+
+    def test_summaries_live_in_jsonl_shards(self, parallel):
+        """The propagation medium is the existing checkpoint records."""
+        _, checkpoint_dir = parallel
+        shards = sorted(checkpoint_dir.glob("shard-*.jsonl"))
+        assert shards
+        seen = set()
+        for shard in shards:
+            for line in shard.read_text().splitlines():
+                record = json.loads(line)
+                result_payload = record["result"]
+                assert "trace_summary" in result_payload
+                seen.add(result_payload["case_id"])
+                clone = TraceSummary.from_dict(
+                    result_payload["trace_summary"]
+                )
+                assert clone.spans[0].name == "case"
+        assert seen == set(IDS)
+
+    def test_tracing_off_means_no_summary_overhead(self, tmp_path):
+        """Default (untraced) parallel runs keep results summary-free."""
+        outcome = run_campaign_parallel(
+            CFG, case_ids=IDS[:1], jobs=1,
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        assert outcome.ok
+        assert outcome.campaign.results[0].trace_summary is None
+
+
+class TestRoundTripThroughDict:
+    def test_case_result_dict_round_trip_preserves_tree(self):
+        with trace.collecting():
+            result = run_case(get_case(IDS[0]), CFG)
+        clone = CaseResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone.trace_summary is not None
+        assert (
+            clone.trace_summary.structure()
+            == result.trace_summary.structure()
+        )

@@ -1,0 +1,150 @@
+"""CI perf-regression gate: comparisons, tolerance resolution, CLI."""
+
+import json
+
+import pytest
+
+from repro.perf.bench_gate import (
+    DEFAULT_TOLERANCE,
+    TOLERANCE_ENV,
+    compare_records,
+    main,
+    resolve_tolerance,
+)
+from repro.perf.regression import RegressionComponent, RegressionRecord
+
+
+def _record(speedups, label="bench"):
+    """Record with one component per (name, speedup); reference is 1 s."""
+    components = [
+        RegressionComponent(
+            name=name, reference_seconds=1.0, optimized_seconds=1.0 / s,
+            detail="synthetic",
+        )
+        for name, s in speedups.items()
+    ]
+    return RegressionRecord(label=label, scope="unit", components=components)
+
+
+BASELINE = {"stack_distances": 10.0, "fsai_setup": 4.0, "cache_replay": 1.0}
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        report = compare_records(_record(BASELINE), _record(BASELINE))
+        assert report.ok
+        assert [v.name for v in report.verdicts] == [
+            "stack_distances", "fsai_setup", "cache_replay", "COMPOSITE",
+        ]
+        assert all(v.ratio == pytest.approx(1.0) for v in report.verdicts)
+
+    def test_small_regression_within_tolerance_passes(self):
+        current = dict(BASELINE, stack_distances=8.5)  # 0.85x of baseline
+        report = compare_records(_record(BASELINE), _record(current))
+        assert report.ok
+
+    def test_component_below_tolerance_fails(self):
+        current = dict(BASELINE, stack_distances=7.0)  # 0.70x < 0.8 default
+        report = compare_records(_record(BASELINE), _record(current))
+        assert not report.ok
+        bad = {v.name for v in report.verdicts if not v.ok}
+        assert "stack_distances" in bad
+        assert "GATE FAILED" in "\n".join(report.lines())
+
+    def test_injected_slowdown_trips_composite_too(self):
+        # A 4x slowdown of the wall-time-dominant component (cache_replay
+        # spends 1 s optimized vs 0.35 s for the rest) sinks the composite.
+        current = dict(BASELINE, cache_replay=BASELINE["cache_replay"] / 4)
+        report = compare_records(_record(BASELINE), _record(current))
+        composite = report.verdicts[-1]
+        assert composite.name == "COMPOSITE" and not composite.ok
+
+    def test_missing_component_fails(self):
+        current = {k: v for k, v in BASELINE.items() if k != "fsai_setup"}
+        report = compare_records(_record(BASELINE), _record(current))
+        assert not report.ok
+        assert report.missing == ["fsai_setup"]
+        assert "missing" in "\n".join(report.lines())
+
+    def test_extra_current_component_is_not_judged(self):
+        # A fast new bench changes the composite only mildly and gets no
+        # per-component verdict of its own.
+        current = dict(BASELINE, brand_new=2.0)
+        report = compare_records(_record(BASELINE), _record(current))
+        assert report.ok
+        assert "brand_new" not in {v.name for v in report.verdicts}
+
+    def test_improvement_always_passes(self):
+        current = {k: 2 * v for k, v in BASELINE.items()}
+        report = compare_records(_record(BASELINE), _record(current))
+        assert report.ok
+
+
+class TestToleranceResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(TOLERANCE_ENV, raising=False)
+        assert resolve_tolerance() == DEFAULT_TOLERANCE
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(TOLERANCE_ENV, "0.5")
+        assert resolve_tolerance() == 0.5
+
+    def test_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv(TOLERANCE_ENV, "0.5")
+        assert resolve_tolerance(0.95) == 0.95
+
+    def test_must_be_positive(self):
+        with pytest.raises(ValueError):
+            resolve_tolerance(0.0)
+        with pytest.raises(ValueError):
+            resolve_tolerance(-1.0)
+
+    def test_env_tightens_the_gate(self, monkeypatch):
+        current = dict(BASELINE, stack_distances=9.0)  # 0.9x of baseline
+        monkeypatch.delenv(TOLERANCE_ENV, raising=False)
+        assert compare_records(_record(BASELINE), _record(current)).ok
+        monkeypatch.setenv(TOLERANCE_ENV, "0.95")
+        assert not compare_records(_record(BASELINE), _record(current)).ok
+
+
+class TestCli:
+    def _write(self, path, speedups):
+        path.write_text(json.dumps(_record(speedups).to_dict(), indent=2))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(TOLERANCE_ENV, raising=False)
+        base = self._write(tmp_path / "base.json", BASELINE)
+        cur = self._write(tmp_path / "cur.json", BASELINE)
+        assert main([base, cur]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(TOLERANCE_ENV, raising=False)
+        base = self._write(tmp_path / "base.json", BASELINE)
+        cur = self._write(
+            tmp_path / "cur.json", dict(BASELINE, fsai_setup=1.0)
+        )
+        assert main([base, cur]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL fsai_setup" in out and "GATE FAILED" in out
+
+    def test_tolerance_flag(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TOLERANCE_ENV, raising=False)
+        base = self._write(tmp_path / "base.json", BASELINE)
+        cur = self._write(
+            tmp_path / "cur.json", dict(BASELINE, stack_distances=7.0)
+        )
+        assert main([base, cur]) == 1  # 0.70x fails the default 0.8
+        assert main([base, cur, "--tolerance", "0.6"]) == 0
+
+    def test_gate_works_on_committed_artifact_shape(self, tmp_path):
+        """The real BENCH_engine.json (with trace_summary) must load."""
+        from pathlib import Path
+
+        artifact = Path(__file__).resolve().parents[2] / "BENCH_engine.json"
+        if not artifact.exists():
+            pytest.skip("no committed BENCH_engine.json")
+        record = RegressionRecord.load(artifact)
+        report = compare_records(record, record)
+        assert report.ok

@@ -1,0 +1,47 @@
+"""min_over_repetitions: paper §7.1 protocol + fastest-result pairing."""
+
+import time
+
+import pytest
+
+from repro.perf.timer import min_over_repetitions
+
+
+class TestMinOverRepetitions:
+    def test_returns_min_time(self):
+        delays = iter([0.02, 0.002, 0.01])
+
+        def fn():
+            time.sleep(next(delays))
+            return "x"
+
+        seconds, _ = min_over_repetitions(fn, repetitions=3)
+        assert 0.002 <= seconds < 0.01
+
+    def test_result_comes_from_fastest_repetition(self):
+        """ISSUE 3 satellite: the (time, result) pair must be consistent."""
+        calls = []
+
+        def fn():
+            i = len(calls)
+            calls.append(i)
+            time.sleep([0.02, 0.001, 0.01][i])
+            return f"result-{i}"
+
+        seconds, result = min_over_repetitions(fn, repetitions=3)
+        assert result == "result-1"  # the 1 ms repetition, not the last one
+        assert seconds < 0.01
+
+    def test_single_repetition(self):
+        seconds, result = min_over_repetitions(lambda: 42, repetitions=1)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            min_over_repetitions(lambda: None, repetitions=0)
+
+    def test_runs_exactly_n_times(self):
+        calls = []
+        min_over_repetitions(lambda: calls.append(1), repetitions=4)
+        assert len(calls) == 4

@@ -1,0 +1,250 @@
+"""Core span/counter semantics of :mod:`repro.trace`."""
+
+import json
+import threading
+
+from repro import trace
+from repro.trace import Collector, SpanRecord
+
+
+class TestDisabledByDefault:
+    def test_disabled_at_import(self):
+        assert not trace.enabled()
+
+    def test_span_is_shared_null_object(self):
+        s1 = trace.span("a", attr=1)
+        s2 = trace.span("b")
+        assert s1 is s2  # one shared no-op instance, no allocation
+
+    def test_null_span_supports_full_surface(self):
+        with trace.span("a") as s:
+            s.add_counter("x", 3)
+            s.set_attr("k", "v")
+        trace.add_counter("loose")
+        trace.set_attr("k", 1)
+        assert trace.current_span() is None
+
+
+class TestSpanTree:
+    def test_nesting_builds_tree(self):
+        with trace.collecting() as collector:
+            with trace.span("outer", case=5) as outer:
+                with trace.span("inner.a"):
+                    pass
+                with trace.span("inner.b"):
+                    with trace.span("leaf"):
+                        pass
+        assert collector.roots == [outer]
+        assert outer.attrs == {"case": 5}
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+        assert outer.structure() == (
+            "outer",
+            (("inner.a", ()), ("inner.b", (("leaf", ()),))),
+        )
+
+    def test_durations_closed_and_ordered(self):
+        with trace.collecting() as collector:
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        (outer,) = collector.roots
+        (inner,) = outer.children
+        assert outer.duration >= inner.duration >= 0.0
+        assert inner.start >= outer.start
+
+    def test_sibling_roots(self):
+        with trace.collecting() as collector:
+            with trace.span("first"):
+                pass
+            with trace.span("second"):
+                pass
+        assert [r.name for r in collector.roots] == ["first", "second"]
+
+    def test_exception_still_closes_span(self):
+        with trace.collecting() as collector:
+            try:
+                with trace.span("boom"):
+                    raise ValueError("propagates")
+            except ValueError:
+                pass
+        (root,) = collector.roots
+        assert root.duration >= 0.0
+        assert trace.current_span() is None
+
+    def test_current_span_tracks_stack(self):
+        with trace.collecting():
+            assert trace.current_span() is None
+            with trace.span("outer") as outer:
+                assert trace.current_span() is outer
+                with trace.span("inner") as inner:
+                    assert trace.current_span() is inner
+                assert trace.current_span() is outer
+            assert trace.current_span() is None
+
+
+class TestCounters:
+    def test_counters_attach_to_innermost_span(self):
+        with trace.collecting() as collector:
+            with trace.span("outer"):
+                trace.add_counter("flops", 10)
+                with trace.span("inner"):
+                    trace.add_counter("flops", 5)
+                    trace.add_counter("iters")
+        (outer,) = collector.roots
+        assert outer.counters == {"flops": 10}
+        assert outer.children[0].counters == {"flops": 5, "iters": 1}
+        assert outer.total_counters() == {"flops": 15, "iters": 1}
+
+    def test_loose_counters_land_on_collector(self):
+        with trace.collecting() as collector:
+            trace.add_counter("scheduler.retries", 2)
+            with trace.span("s"):
+                trace.add_counter("inside")
+        assert collector.counters == {"scheduler.retries": 2}
+        assert collector.total_counters() == {
+            "scheduler.retries": 2,
+            "inside": 1,
+        }
+
+    def test_set_attr_on_open_span(self):
+        with trace.collecting() as collector:
+            with trace.span("s"):
+                trace.set_attr("converged", True)
+        assert collector.roots[0].attrs == {"converged": True}
+
+
+class TestEnableDisable:
+    def test_collecting_restores_previous_state(self):
+        assert not trace.enabled()
+        with trace.collecting():
+            assert trace.enabled()
+            with trace.collecting() as nested:
+                assert trace.enabled()
+                with trace.span("inner-only"):
+                    pass
+            # The nested collector kept its own roots...
+            assert [r.name for r in nested.roots] == ["inner-only"]
+        assert not trace.enabled()
+
+    def test_nested_collecting_isolates_collectors(self):
+        with trace.collecting() as outer_c:
+            with trace.span("outer-span"):
+                pass
+            with trace.collecting() as inner_c:
+                with trace.span("inner-span"):
+                    pass
+            with trace.span("outer-again"):
+                pass
+        assert [r.name for r in inner_c.roots] == ["inner-span"]
+        assert [r.name for r in outer_c.roots] == ["outer-span", "outer-again"]
+
+    def test_enable_disable_explicit(self):
+        collector = trace.enable()
+        try:
+            assert trace.enabled()
+            with trace.span("s"):
+                pass
+            assert [r.name for r in collector.roots] == ["s"]
+        finally:
+            trace.disable()
+        assert not trace.enabled()
+
+    def test_enable_accepts_existing_collector(self):
+        mine = Collector()
+        got = trace.enable(mine)
+        try:
+            assert got is mine
+        finally:
+            trace.disable()
+
+
+class TestEvent:
+    def test_event_records_premeasured_duration(self):
+        with trace.collecting() as collector:
+            trace.event("orchestrator.case", 0.25, case_id=37, slot=0)
+        (root,) = collector.roots
+        assert root.name == "orchestrator.case"
+        assert root.duration == 0.25
+        assert root.attrs == {"case_id": 37, "slot": 0}
+
+    def test_event_nests_under_open_span(self):
+        with trace.collecting() as collector:
+            with trace.span("campaign"):
+                trace.event("orchestrator.case", 0.1, case_id=5)
+        (root,) = collector.roots
+        assert [c.name for c in root.children] == ["orchestrator.case"]
+
+    def test_event_noop_when_disabled(self):
+        trace.event("ignored", 1.0)  # must not raise or record anywhere
+
+
+class TestThreadSafety:
+    def test_concurrent_roots_all_collected(self):
+        n_threads, n_spans = 4, 50
+
+        def work(tid):
+            for i in range(n_spans):
+                with trace.span(f"t{tid}", i=i):
+                    trace.add_counter("work", 1)
+
+        with trace.collecting() as collector:
+            threads = [
+                threading.Thread(target=work, args=(t,))
+                for t in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(collector.roots) == n_threads * n_spans
+        assert collector.total_counters() == {"work": n_threads * n_spans}
+
+    def test_threads_do_not_share_span_stack(self):
+        seen = {}
+
+        def work():
+            # A fresh thread starts with an empty stack even though the
+            # main thread holds an open span.
+            seen["current"] = trace.current_span()
+            with trace.span("thread-root") as s:
+                seen["own"] = trace.current_span() is s
+
+        with trace.collecting() as collector:
+            with trace.span("main-root"):
+                t = threading.Thread(target=work)
+                t.start()
+                t.join()
+        assert seen == {"current": None, "own": True}
+        assert sorted(r.name for r in collector.roots) == [
+            "main-root", "thread-root",
+        ]
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_tree(self):
+        with trace.collecting() as collector:
+            with trace.span("outer", case=5, label="x"):
+                trace.add_counter("flops", 12.5)
+                with trace.span("inner"):
+                    trace.add_counter("iters", 3)
+        (root,) = collector.roots
+        payload = json.loads(json.dumps(root.to_dict()))  # JSON-able
+        clone = SpanRecord.from_dict(payload)
+        assert clone == root
+        assert clone.structure() == root.structure()
+        assert clone.total_counters() == root.total_counters()
+
+    def test_open_span_serialises_with_sentinel_duration(self):
+        record = SpanRecord(name="open", start=1.0)
+        assert record.duration == -1.0
+        assert SpanRecord.from_dict(record.to_dict()).duration == -1.0
+
+    def test_iter_spans_preorder(self):
+        root = SpanRecord(name="r", start=0.0, children=[
+            SpanRecord(name="a", start=0.0, children=[
+                SpanRecord(name="b", start=0.0),
+            ]),
+            SpanRecord(name="c", start=0.0),
+        ])
+        assert [s.name for s in root.iter_spans()] == ["r", "a", "b", "c"]

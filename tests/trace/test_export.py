@@ -1,0 +1,128 @@
+"""JSON / Chrome-trace exporters and the TraceSummary aggregation layer."""
+
+import json
+
+import pytest
+
+from repro import trace
+from repro.trace import (
+    JSON_SCHEMA,
+    TraceSummary,
+    to_chrome_trace,
+    to_json_dict,
+    write_chrome_trace,
+    write_json,
+)
+from repro.trace.core import SpanRecord
+
+
+@pytest.fixture
+def summary():
+    """Small two-root forest with nesting, counters and attrs."""
+    with trace.collecting() as collector:
+        with trace.span("fsai.setup", method="fsaie_sp", n=100):
+            trace.add_counter("fsai.frobenius_flops", 1000)
+            with trace.span("solvers.cg"):
+                trace.add_counter("cg.iterations", 42)
+        with trace.span("cachesim.spmv_sim"):
+            trace.add_counter("cachesim.l1_misses", 7)
+        trace.add_counter("loose", 2)
+    return TraceSummary.from_collector(collector)
+
+
+class TestTraceSummary:
+    def test_phase_seconds_keys(self, summary):
+        phases = summary.phase_seconds()
+        assert set(phases) == {"fsai.setup", "solvers.cg", "cachesim.spmv_sim"}
+        assert all(v >= 0.0 for v in phases.values())
+        # Inclusive semantics: the parent covers at least its child.
+        assert phases["fsai.setup"] >= phases["solvers.cg"]
+
+    def test_counter_totals_include_loose(self, summary):
+        assert summary.counter_totals() == {
+            "fsai.frobenius_flops": 1000,
+            "cg.iterations": 42,
+            "cachesim.l1_misses": 7,
+            "loose": 2,
+        }
+
+    def test_total_seconds_sums_roots(self, summary):
+        assert summary.total_seconds() == pytest.approx(
+            sum(r.duration for r in summary.spans)
+        )
+
+    def test_structure_is_timing_free_forest(self, summary):
+        assert summary.structure() == (
+            ("fsai.setup", (("solvers.cg", ()),)),
+            ("cachesim.spmv_sim", ()),
+        )
+
+    def test_round_trip(self, summary):
+        payload = json.loads(json.dumps(summary.to_dict()))
+        clone = TraceSummary.from_dict(payload)
+        assert clone == summary
+        assert clone.structure() == summary.structure()
+        assert clone.counter_totals() == summary.counter_totals()
+
+    def test_from_span_single_tree(self, summary):
+        solo = TraceSummary.from_span(summary.spans[0])
+        assert solo.structure() == (summary.structure()[0],)
+        assert solo.counters == {}
+
+    def test_summary_lines_mention_phases_and_counters(self, summary):
+        text = "\n".join(summary.summary_lines())
+        for name in ("fsai.setup", "solvers.cg", "cg.iterations", "loose"):
+            assert name in text
+
+
+class TestJsonExport:
+    def test_stable_schema_shape(self, summary):
+        doc = to_json_dict(summary, label="unit test")
+        assert doc["schema"] == JSON_SCHEMA
+        assert doc["label"] == "unit test"
+        assert set(doc) == {
+            "schema", "label", "environment", "phase_seconds",
+            "counter_totals", "counters", "spans",
+        }
+        assert doc["phase_seconds"] == summary.phase_seconds()
+        assert doc["counter_totals"] == summary.counter_totals()
+        assert len(doc["spans"]) == 2
+
+    def test_write_json_round_trips(self, tmp_path, summary):
+        path = write_json(tmp_path / "trace.json", summary, label="x")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == JSON_SCHEMA
+        clone = TraceSummary.from_dict(doc)
+        assert clone.structure() == summary.structure()
+
+
+class TestChromeExport:
+    def test_complete_events_per_span(self, summary):
+        doc = to_chrome_trace(summary)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 3  # one "X" event per span in the forest
+        assert {e["ph"] for e in events} == {"X"}
+        by_name = {e["name"]: e for e in events}
+        assert by_name["solvers.cg"]["args"]["cg.iterations"] == 42
+        assert by_name["fsai.setup"]["args"]["method"] == "fsaie_sp"
+        for e in events:
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0  # microseconds
+
+    def test_roots_get_distinct_lanes(self, summary):
+        events = to_chrome_trace(summary)["traceEvents"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["fsai.setup"]["tid"] != by_name["cachesim.spmv_sim"]["tid"]
+        # Children share their root's lane so nesting renders stacked.
+        assert by_name["solvers.cg"]["tid"] == by_name["fsai.setup"]["tid"]
+
+    def test_explicit_pid_tid_attrs_win(self):
+        root = SpanRecord(name="case", start=0.0, duration=1.0,
+                          attrs={"pid": 7, "tid": 99})
+        events = to_chrome_trace(TraceSummary(spans=[root]))["traceEvents"]
+        assert events[0]["pid"] == 7 and events[0]["tid"] == 99
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path, summary):
+        path = write_chrome_trace(tmp_path / "t.chrome.json", summary)
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)

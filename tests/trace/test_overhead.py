@@ -1,0 +1,64 @@
+"""Disabled-tracing overhead guarantee (ISSUE 3 acceptance criterion).
+
+Hot loops (CG iterations, per-access cache replays) carry unconditional
+``trace.span`` / ``trace.add_counter`` calls, so the disabled path must be
+a single module-global boolean check.  The budget asserted here is the
+documented contract: a no-op span costs **< 1 µs**.
+"""
+
+import time
+
+from repro import trace
+
+#: Enough iterations to average out timer noise while staying < 0.5 s.
+N = 100_000
+
+#: Contractual per-call budget, seconds.
+BUDGET = 1e-6
+
+
+def _per_call_seconds(fn, n=N):
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - t0) / n
+
+
+def _noop_span():
+    with trace.span("hot.loop"):
+        pass
+
+
+def _noop_counter():
+    trace.add_counter("hot.counter", 1)
+
+
+class TestDisabledOverhead:
+    def test_tracing_is_off(self):
+        assert not trace.enabled()
+
+    def test_noop_span_under_one_microsecond(self):
+        _per_call_seconds(_noop_span, n=1000)  # warm up
+        best = min(_per_call_seconds(_noop_span) for _ in range(3))
+        assert best < BUDGET, (
+            f"disabled span averaged {best * 1e9:.0f} ns/call "
+            f"(budget {BUDGET * 1e9:.0f} ns)"
+        )
+
+    def test_noop_counter_under_one_microsecond(self):
+        _per_call_seconds(_noop_counter, n=1000)  # warm up
+        best = min(_per_call_seconds(_noop_counter) for _ in range(3))
+        assert best < BUDGET, (
+            f"disabled add_counter averaged {best * 1e9:.0f} ns/call "
+            f"(budget {BUDGET * 1e9:.0f} ns)"
+        )
+
+    def test_span_with_attrs_still_cheap_when_disabled(self):
+        def call():
+            with trace.span("hot.loop", n=100, backend="vector"):
+                pass
+
+        call()  # warm up
+        best = min(_per_call_seconds(call) for _ in range(3))
+        # Keyword packing costs a dict; allow 2x the bare-span budget.
+        assert best < 2 * BUDGET
