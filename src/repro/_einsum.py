@@ -1,0 +1,24 @@
+"""Fast einsum entry point shared by the hot kernels.
+
+The raw C einsum skips :func:`numpy.einsum`'s python wrapper — argument
+normalisation, the ``optimize=`` dispatch — which costs ~2 µs per call,
+significant at solver-loop call rates on the suite's small systems.  The
+symbol lives in a private numpy module whose path has moved between
+releases, so fall back to the public wrapper when it isn't found; every
+call site uses the plain ``(subscripts, *operands, out=...)`` form that
+both entry points accept identically.
+"""
+
+import numpy as np
+
+__all__ = ["_einsum"]
+
+try:
+    from numpy._core._multiarray_umath import c_einsum as _einsum
+except ImportError:  # pragma: no cover - older numpy module layout
+    try:
+        from numpy.core._multiarray_umath import (  # type: ignore[no-redef]
+            c_einsum as _einsum,
+        )
+    except ImportError:
+        _einsum = np.einsum  # type: ignore[assignment]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -92,12 +92,36 @@ class SetAssociativeCache:
         self.backend = _check_backend(backend)
         if self.n_sets <= 0:
             raise ConfigurationError(f"{spec.name}: zero sets")
-        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self._set_store: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        # Live state produced by the offline engine but not yet scattered
+        # into the per-set OrderedDicts.  Replay-only workflows (the common
+        # bench/simulation path) chain these arrays directly from one
+        # access_many to the next and never pay the Python rebuild loop;
+        # scalar probes materialise on demand via the ``_sets`` property.
+        self._pending_state: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self.stats = CacheStats()
+
+    @property
+    def _sets(self) -> List[OrderedDict]:
+        """Per-set ``OrderedDict`` state, materialised on first need."""
+        pending = self._pending_state
+        if pending is not None:
+            for s in self._set_store:
+                if s:
+                    s.clear()
+            sets = self._set_store
+            state_sets, state_lines = pending
+            for set_idx, line in zip(state_sets.tolist(), state_lines.tolist()):
+                sets[set_idx][line] = None
+            self._pending_state = None
+        return self._set_store
 
     def reset(self) -> None:
         """Empty the cache and zero the counters."""
-        for s in self._sets:
+        self._pending_state = None
+        for s in self._set_store:
             s.clear()
         self.stats = CacheStats()
 
@@ -163,9 +187,17 @@ class SetAssociativeCache:
         return hits_mask
 
     def _warm_lines(self) -> np.ndarray:
-        """Current contents as a warm-start prefix (per-set LRU order)."""
+        """Current contents as a warm-start prefix (per-set LRU order).
+
+        When the last replay's state is still pending, its ``state_lines``
+        array *is* the warm prefix (the engine reports residents grouped
+        by set in LRU order), so back-to-back replays chain state without
+        ever touching the OrderedDicts.
+        """
+        if self._pending_state is not None:
+            return self._pending_state[1]
         resident: List[int] = []
-        for s in self._sets:
+        for s in self._set_store:
             if s:
                 resident.extend(s.keys())
         return np.asarray(resident, dtype=np.int64)
@@ -174,16 +206,9 @@ class SetAssociativeCache:
         outcome = simulate_set_lru(
             line_ids, self.n_sets, self.ways, warm_lines=self._warm_lines()
         )
-        # Re-materialise live state so scalar probes stay exact: the engine
-        # reports residents per set in LRU order = OrderedDict insert order.
-        for s in self._sets:
-            if s:
-                s.clear()
-        sets = self._sets
-        for set_idx, line in zip(
-            outcome.state_sets.tolist(), outcome.state_lines.tolist()
-        ):
-            sets[set_idx][line] = None
+        # Keep the engine-reported final state as arrays; scalar probes
+        # scatter it into the OrderedDicts lazily (the ``_sets`` property).
+        self._pending_state = (outcome.state_sets, outcome.state_lines)
         n_hits = int(outcome.hits.sum())
         st = self.stats
         st.accesses += len(line_ids)
@@ -195,7 +220,9 @@ class SetAssociativeCache:
     @property
     def resident_lines(self) -> int:
         """Number of lines currently held."""
-        return sum(len(s) for s in self._sets)
+        if self._pending_state is not None:
+            return len(self._pending_state[1])
+        return sum(len(s) for s in self._set_store)
 
     def __repr__(self) -> str:
         return (

@@ -1,8 +1,15 @@
 """FSAI application object: ``z = G^T (G r)``.
 
-Both factors are stored explicitly in CSR — the paper stores ``G_ext`` and
-``G_ext^T`` in CSR and performs two row-order SpMVs (§4.3) — so the cache
-simulator can replay exactly the patterns the solver touches.
+The paper stores ``G_ext`` and ``G_ext^T`` in CSR and performs two
+row-order SpMVs (§4.3).  Here the common case — ``G^T`` *is* the
+transpose of ``G`` — routes through the kernel registry's fused
+:meth:`~repro.kernels.base.KernelBackend.fsai_apply`, which performs both
+products from ``G``'s stored structure alone (the scatter half uses the
+cached column-grouped view), with all intermediates in preallocated
+workspaces.  The explicit transpose is only materialised lazily for
+callers that need its pattern (the cache simulator replays it), or when a
+*differently shaped* ``G^T`` is supplied, as FSAIE(full)'s doubly-extended
+variant allows.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import numpy as np
 
 from repro._typing import FloatArray
 from repro.errors import ShapeError
+from repro.kernels import get_backend
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.pattern import Pattern
 
@@ -27,39 +35,86 @@ class FSAIApplication:
     g:
         Lower-triangular factor ``G`` in CSR.
     g_transpose:
-        Explicit CSR storage of ``G^T``; computed from ``g`` when omitted.
+        Explicit CSR storage of ``G^T``.  When omitted (the usual case)
+        the application is fused over ``G`` alone and the transpose is
+        computed lazily only if :attr:`gt`/:attr:`gt_pattern` is read.
         FSAIE(full) builds ``G`` from a doubly-extended transpose pattern,
         so both factors always share values but may have been *shaped* by
-        different extension steps.
+        different extension steps — passing one switches the application
+        to two explicit SpMVs.
     """
 
     def __init__(self, g: CSRMatrix, g_transpose: Optional[CSRMatrix] = None) -> None:
         if g.n_rows != g.n_cols:
             raise ShapeError("G must be square")
         self.g = g
-        self.gt = g_transpose if g_transpose is not None else g.transpose()
-        if self.gt.shape != g.shape:
+        if g_transpose is not None and g_transpose.shape != g.shape:
             raise ShapeError("G^T shape mismatch")
+        self._gt = g_transpose
+        self._gt_explicit = g_transpose is not None
         self.n = g.n_rows
-        # Lazily-allocated SpMV gather scratch shared by both factors (they
-        # have equal nnz when gt is a true transpose, but not necessarily for
-        # FSAIE(full), hence the max).
+        # Lazily-allocated workspaces: the fused-apply intermediate t = G r
+        # and the SpMV gather scratch shared by both products (equal nnz
+        # when gt is a true transpose, but not necessarily for FSAIE(full),
+        # hence the max).
+        self._tmp: Optional[np.ndarray] = None
         self._scratch: Optional[np.ndarray] = None
+        # The kernel backend is resolved once at first application and
+        # pinned as a bound apply handle (a solver applies the
+        # preconditioner thousands of times; re-reading the registry and
+        # re-dispatching the format per apply is pure overhead).
+        # Construct a fresh application to pick up a backend switch.
+        self._apply_op = None
+
+    @property
+    def gt(self) -> CSRMatrix:
+        """Explicit ``G^T`` (lazily transposed unless supplied)."""
+        if self._gt is None:
+            self._gt = self.g.transpose()
+        return self._gt
+
+    def _workspaces(self):
+        if self._scratch is None:
+            nnz = self.g.nnz
+            if self._gt_explicit:
+                nnz = max(nnz, self.gt.nnz)
+            self._scratch = np.empty(nnz)
+            self._tmp = np.empty(self.n)
+        return self._tmp, self._scratch
 
     def apply(self, r: FloatArray) -> FloatArray:
-        """``z = G^T (G r)`` — two row-order CSR SpMVs."""
+        """``z = G^T (G r)`` — fused kernel-backend application."""
+        return self.apply_into(r, np.empty(self.n))
+
+    def apply_into(self, r: FloatArray, out: FloatArray) -> FloatArray:
+        """As :meth:`apply`, writing into the caller's ``out`` buffer."""
         if r.shape != (self.n,):
             raise ShapeError(f"expected vector of length {self.n}")
-        if self._scratch is None:
-            self._scratch = np.empty(max(self.g.nnz, self.gt.nnz))
-        return self.gt.matvec(
-            self.g.matvec(r, scratch=self._scratch[: self.g.nnz]),
-            scratch=self._scratch[: self.gt.nnz],
-        )
+        op = self._apply_op
+        if op is None:
+            op = self._apply_op = self._bind_apply()
+        return op(r, out)
+
+    def _bind_apply(self):
+        """Resolve the backend and bind the fused-apply handle once."""
+        tmp, scratch = self._workspaces()
+        backend = get_backend()
+        if not self._gt_explicit:
+            return backend.fsai_apply_op(self.g, tmp, scratch)
+        # Differently-shaped explicit transpose: two row-order SpMVs.
+        g_op = backend.spmv_op(self.g, scratch[: self.g.nnz])
+        gt_op = backend.spmv_op(self.gt, scratch[: self.gt.nnz])
+
+        def op(r: FloatArray, out: FloatArray) -> FloatArray:
+            g_op(r, tmp)
+            return gt_op(tmp, out)
+
+        return op
 
     def flops_per_application(self) -> int:
         """2 flops per stored entry and product."""
-        return 2 * (self.g.nnz + self.gt.nnz)
+        gt_nnz = self.gt.nnz if self._gt_explicit else self.g.nnz
+        return 2 * (self.g.nnz + gt_nnz)
 
     @property
     def g_pattern(self) -> Pattern:

@@ -1,0 +1,158 @@
+"""Kernel-backend interface: the solve-side hot-path primitives.
+
+The paper's wall-time analysis (§2) shows PCG time is dominated by two
+memory-bound kernels — the SpMV with ``A`` and the FSAI application
+``z = G^T (G r)`` — so those, plus the PCG vector updates, are the
+operations a backend must provide.  Everything else in the library stays
+backend-agnostic and calls these primitives through the registry
+(:func:`repro.kernels.get_backend`).
+
+Operand contract
+----------------
+Sparse operands are duck-typed CSR objects (in practice
+:class:`repro.sparse.csr.CSRMatrix`) exposing ``n_rows``, ``n_cols``,
+``indptr``, ``indices``, ``data`` plus the cached structure helpers
+``row_ids()``, ``row_segments()`` and ``col_segments()``.  Backends never
+mutate operands; any auxiliary structure they need is cached on the
+matrix so repeated calls (the CG loop) pay for it once.
+
+Workspace contract
+------------------
+Every primitive accepts optional caller-owned buffers and allocates only
+when they are omitted:
+
+``out``
+    Result vector (``n_rows`` for :meth:`spmv`, ``n_cols`` for
+    :meth:`spmv_t`, ``n`` for :meth:`fsai_apply`).  Always returned, so
+    call sites read uniformly whether they preallocated or not.
+``scratch``
+    ``nnz``-length float buffer for the gather product
+    ``data * x[...]``.  The NumPy backends leave the (structure-ordered)
+    products behind in it; other backends may ignore it entirely — its
+    contents are backend-specific, only its role is contractual.
+``tmp``
+    ``n``-length float buffer holding the intermediate ``t = G r`` of the
+    fused FSAI application.
+``work``
+    ``n``-length float buffer for :meth:`pcg_step`'s AXPY temporaries.
+
+With all buffers supplied, a backend performs **no per-call heap
+allocation** in ``spmv``/``fsai_apply``/``pcg_step``/``pcg_direction``
+(the empty-row/empty-column correction path of the NumPy backend is the
+one documented exception; FSAI factors and SPD system matrices never
+take it).  See ``docs/kernels.md`` for the full rationale.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(ABC):
+    """Abstract kernel backend: SpMV / FSAI-apply / PCG-update primitives.
+
+    Implementations must be numerically equivalent — the property suite
+    (``tests/kernels``) holds every registered backend to the dense
+    reference within ``1e-13`` — but are free to differ in summation
+    strategy, parallelism and workspace use.
+    """
+
+    #: Registry name; also stamped on trace spans (``backend=...``).
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Sparse kernels
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def spmv(
+        self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
+        *, scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``out = A @ x`` over a CSR operand."""
+
+    @abstractmethod
+    def spmv_t(
+        self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
+        *, scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``out = A.T @ x`` without materialising the transpose."""
+
+    @abstractmethod
+    def fsai_apply(
+        self, g: Any, r: np.ndarray, out: Optional[np.ndarray] = None,
+        *, tmp: Optional[np.ndarray] = None,
+        scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Fused ``out = G^T (G r)`` from ``G``'s structure alone.
+
+        The intermediate ``t = G r`` lives in ``tmp`` (never a fresh
+        allocation when supplied), and the second product scatters through
+        the same stored factor — no explicit ``G^T`` matrix is required.
+        """
+
+    # ------------------------------------------------------------------
+    # Bound kernel handles (OSKI-style tuned operators)
+    # ------------------------------------------------------------------
+    def spmv_op(self, a: Any, scratch: Optional[np.ndarray] = None):
+        """Return ``op(x, out) -> out`` for repeated products with ``a``.
+
+        Solver loops multiply by the *same* matrix thousands of times;
+        a bound handle lets a backend resolve the per-matrix strategy
+        (format selection, cached views, workspaces) once instead of on
+        every call.  The default just closes over :meth:`spmv`.
+        """
+        def op(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+            return self.spmv(a, x, out=out, scratch=scratch)
+        return op
+
+    def fsai_apply_op(self, g: Any, tmp: np.ndarray,
+                      scratch: Optional[np.ndarray] = None):
+        """Return ``op(r, out) -> out`` applying ``G^T (G r)`` repeatedly.
+
+        Same rationale as :meth:`spmv_op`, for the preconditioner
+        application — the other half of every PCG iteration's cost.
+        """
+        def op(r: np.ndarray, out: np.ndarray) -> np.ndarray:
+            return self.fsai_apply(g, r, out=out, tmp=tmp, scratch=scratch)
+        return op
+
+    # ------------------------------------------------------------------
+    # PCG vector primitives
+    # ------------------------------------------------------------------
+    def dot(self, u: np.ndarray, v: np.ndarray) -> float:
+        """Euclidean inner product (shared default: BLAS ``np.dot``)."""
+        return float(np.dot(u, v))
+
+    @abstractmethod
+    def pcg_step(
+        self, alpha: float, x: np.ndarray, d: np.ndarray, r: np.ndarray,
+        q: np.ndarray, work: Optional[np.ndarray] = None,
+    ) -> float:
+        """Fused PCG iterate update; returns the new ``r·r``.
+
+        In place: ``x += alpha d``; ``r -= alpha q``; the squared residual
+        norm of the updated ``r`` comes back so the convergence test needs
+        no extra pass.
+        """
+
+    @abstractmethod
+    def pcg_direction(self, beta: float, d: np.ndarray, z: np.ndarray) -> None:
+        """In place ``d = z + beta d`` (the PCG search-direction update)."""
+
+    # ------------------------------------------------------------------
+    # Dense batched kernel (the §5 precalculation's lockstep local CG)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def stacked_matvec(
+        self, a_stack: np.ndarray, d_stack: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``out[i] = a_stack[i] @ d_stack[i]`` over an ``(m, k, k)`` stack."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,148 @@
+"""Optional Numba-JIT kernel backend (parallel ``prange`` row loops).
+
+Auto-detected: when numba is importable the backend registers as
+``"numba"``; when it is not, :func:`make_backend` returns ``None`` and the
+registry silently resolves ``"numba"`` to the numpy backend, so nothing —
+imports, tier-1 tests, the CLI — ever depends on numba being installed.
+
+Kernel shapes follow the OSKI/Williams-et-al. playbook for row-parallel
+CSR: the SpMV and the first half of the fused FSAI application distribute
+rows across threads (each row's dot product is independent); the
+transpose scatter stays sequential (scatter-add races under ``prange``),
+which matches the paper's observation that the ``G^T`` product is the
+bandwidth-bound half.  Functions compile lazily on first call; the first
+invocation therefore pays JIT cost, every later call runs native code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend
+
+__all__ = ["make_backend", "NUMBA_AVAILABLE"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the tier-1 environment has no numba
+    NUMBA_AVAILABLE = False
+
+if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
+
+    @njit(parallel=True)
+    def _spmv(indptr, indices, data, x, out):
+        for i in prange(len(indptr) - 1):
+            acc = 0.0
+            for k in range(indptr[i], indptr[i + 1]):
+                acc += data[k] * x[indices[k]]
+            out[i] = acc
+
+    @njit
+    def _spmv_t(indptr, indices, data, x, out):
+        out[:] = 0.0
+        for i in range(len(indptr) - 1):
+            xi = x[i]
+            for k in range(indptr[i], indptr[i + 1]):
+                out[indices[k]] += data[k] * xi
+
+    @njit(parallel=True)
+    def _fsai_apply(indptr, indices, data, r, out, tmp):
+        n = len(indptr) - 1
+        for i in prange(n):
+            acc = 0.0
+            for k in range(indptr[i], indptr[i + 1]):
+                acc += data[k] * r[indices[k]]
+            tmp[i] = acc
+        out[:] = 0.0
+        for i in range(n):
+            ti = tmp[i]
+            for k in range(indptr[i], indptr[i + 1]):
+                out[indices[k]] += data[k] * ti
+
+    @njit(parallel=True)
+    def _pcg_step(alpha, x, d, r, q):
+        acc = 0.0
+        for i in prange(len(x)):
+            x[i] += alpha * d[i]
+            ri = r[i] - alpha * q[i]
+            r[i] = ri
+            acc += ri * ri
+        return acc
+
+    @njit(parallel=True)
+    def _pcg_direction(beta, d, z):
+        for i in prange(len(d)):
+            d[i] = z[i] + beta * d[i]
+
+    @njit(parallel=True)
+    def _stacked_matvec(a_stack, d_stack, out):
+        m, k = d_stack.shape
+        for i in prange(m):
+            for row in range(k):
+                acc = 0.0
+                for col in range(k):
+                    acc += a_stack[i, row, col] * d_stack[i, col]
+                out[i, row] = acc
+
+    class NumbaBackend(KernelBackend):
+        """JIT row-loop kernels; ``scratch`` buffers are accepted but unused."""
+
+        name = "numba"
+
+        def spmv(self, a: Any, x: np.ndarray,
+                 out: Optional[np.ndarray] = None,
+                 *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
+            if out is None:
+                out = np.empty(a.n_rows)
+            _spmv(a.indptr, a.indices, a.data,
+                  np.ascontiguousarray(x), out)
+            return out
+
+        def spmv_t(self, a: Any, x: np.ndarray,
+                   out: Optional[np.ndarray] = None,
+                   *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
+            if out is None:
+                out = np.empty(a.n_cols)
+            _spmv_t(a.indptr, a.indices, a.data,
+                    np.ascontiguousarray(x), out)
+            return out
+
+        def fsai_apply(self, g: Any, r: np.ndarray,
+                       out: Optional[np.ndarray] = None,
+                       *, tmp: Optional[np.ndarray] = None,
+                       scratch: Optional[np.ndarray] = None) -> np.ndarray:
+            if out is None:
+                out = np.empty(g.n_rows)
+            if tmp is None:
+                tmp = np.empty(g.n_rows)
+            _fsai_apply(g.indptr, g.indices, g.data,
+                        np.ascontiguousarray(r), out, tmp)
+            return out
+
+        def pcg_step(self, alpha: float, x: np.ndarray, d: np.ndarray,
+                     r: np.ndarray, q: np.ndarray,
+                     work: Optional[np.ndarray] = None) -> float:
+            return float(_pcg_step(alpha, x, d, r, q))
+
+        def pcg_direction(self, beta: float, d: np.ndarray,
+                          z: np.ndarray) -> None:
+            _pcg_direction(beta, d, z)
+
+        def stacked_matvec(self, a_stack: np.ndarray, d_stack: np.ndarray,
+                           out: Optional[np.ndarray] = None) -> np.ndarray:
+            if out is None:
+                out = np.empty_like(d_stack)
+            _stacked_matvec(np.ascontiguousarray(a_stack),
+                            np.ascontiguousarray(d_stack), out)
+            return out
+
+
+def make_backend() -> Optional[KernelBackend]:
+    """Registry factory: an instance when numba imports, ``None`` otherwise."""
+    if not NUMBA_AVAILABLE:
+        return None
+    return NumbaBackend()  # pragma: no cover - needs numba

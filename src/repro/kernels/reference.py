@@ -1,0 +1,80 @@
+"""Reference kernel backend — the seed's ``np.bincount`` formulation.
+
+Kept verbatim as the oracle the improved backends are benchmarked and
+property-tested against: segment sums via ``np.bincount`` over the cached
+row-id expansion, a freshly allocated result per call, and the FSAI
+application as two independent SpMVs.  Nothing here is tuned; that is the
+point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend
+
+__all__ = ["ReferenceBackend"]
+
+
+def _gather_product(
+    data: np.ndarray, x: np.ndarray, gather_ids: np.ndarray,
+    scratch: Optional[np.ndarray],
+) -> np.ndarray:
+    """``data * x[gather_ids]``, into ``scratch`` when one is supplied."""
+    if scratch is None:
+        return data * x[gather_ids]
+    np.take(x, gather_ids, out=scratch)
+    np.multiply(scratch, data, out=scratch)
+    return scratch
+
+
+class ReferenceBackend(KernelBackend):
+    """Allocating bincount kernels (the pre-registry implementation)."""
+
+    name = "reference"
+
+    def spmv(self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
+             *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
+        prod = _gather_product(a.data, x, a.indices, scratch)
+        y = np.bincount(a.row_ids(), weights=prod, minlength=a.n_rows)
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def spmv_t(self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
+               *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
+        prod = _gather_product(a.data, x, a.row_ids(), scratch)
+        y = np.bincount(a.indices, weights=prod, minlength=a.n_cols)
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def fsai_apply(self, g: Any, r: np.ndarray,
+                   out: Optional[np.ndarray] = None,
+                   *, tmp: Optional[np.ndarray] = None,
+                   scratch: Optional[np.ndarray] = None) -> np.ndarray:
+        t = self.spmv(g, r, out=tmp, scratch=scratch)
+        return self.spmv_t(g, t, out=out, scratch=scratch)
+
+    def pcg_step(self, alpha: float, x: np.ndarray, d: np.ndarray,
+                 r: np.ndarray, q: np.ndarray,
+                 work: Optional[np.ndarray] = None) -> float:
+        x += alpha * d
+        r -= alpha * q
+        return float(np.dot(r, r))
+
+    def pcg_direction(self, beta: float, d: np.ndarray, z: np.ndarray) -> None:
+        d *= beta
+        d += z
+
+    def stacked_matvec(self, a_stack: np.ndarray, d_stack: np.ndarray,
+                       out: Optional[np.ndarray] = None) -> np.ndarray:
+        q = np.einsum("ijk,ik->ij", a_stack, d_stack)
+        if out is not None:
+            out[:] = q
+            return out
+        return q

@@ -1,0 +1,125 @@
+"""Backend registry: name → :class:`~repro.kernels.base.KernelBackend`.
+
+Selection order for :func:`get_backend` with no argument:
+
+1. an active :func:`use_backend` override (tests, benchmarks);
+2. the ``REPRO_KERNEL_BACKEND`` environment variable;
+3. the default ``"numpy"`` backend.
+
+``"auto"`` resolves to the fastest available backend (``numba`` when
+importable, otherwise ``numpy``).  Requesting ``"numba"`` on a machine
+without numba silently falls back to ``numpy`` — optional acceleration
+must never become a hard dependency — while a genuinely unknown name
+raises :class:`~repro.errors.ConfigurationError`.
+
+Backends register lazily: a factory may return ``None`` to signal "not
+available on this machine", which keeps it out of
+:func:`available_backends` without failing imports.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.kernels.base import KernelBackend
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "use_backend",
+]
+
+#: Environment variable naming the default backend for this process.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Fallback backend: always available, pure NumPy.
+DEFAULT_BACKEND = "numpy"
+
+BackendFactory = Callable[[], Optional[KernelBackend]]
+
+_factories: Dict[str, BackendFactory] = {}
+_instances: Dict[str, KernelBackend] = {}
+_override: Optional[KernelBackend] = None
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register ``factory`` under ``name`` (lazily instantiated, cached).
+
+    The factory returns ``None`` when the backend cannot run here (e.g.
+    numba is not installed); such backends resolve through the silent
+    fallback instead of erroring.
+    """
+    key = name.strip().lower()
+    if key in _factories:
+        raise ConfigurationError(f"kernel backend {key!r} already registered")
+    _factories[key] = factory
+
+
+def _instance(name: str) -> Optional[KernelBackend]:
+    cached = _instances.get(name)
+    if cached is not None:
+        return cached
+    factory = _factories[name]
+    backend = factory()
+    if backend is not None:
+        _instances[name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every backend that can actually run on this machine."""
+    return tuple(n for n in _factories if _instance(n) is not None)
+
+
+def get_backend(
+    name: Union[str, KernelBackend, None] = None,
+) -> KernelBackend:
+    """Resolve a backend by name / override / environment (see module doc)."""
+    if isinstance(name, KernelBackend):
+        return name
+    if name is None:
+        if _override is not None:
+            return _override
+        env = os.environ.get(ENV_VAR)
+        name = env if env else DEFAULT_BACKEND
+    key = name.strip().lower()
+    if key == "auto":
+        fast = _factories.get("numba")
+        backend = _instance("numba") if fast is not None else None
+        return backend if backend is not None else _require(DEFAULT_BACKEND)
+    if key not in _factories:
+        raise ConfigurationError(
+            f"unknown kernel backend {key!r}; expected one of "
+            f"{tuple(_factories)} or 'auto'"
+        )
+    backend = _instance(key)
+    if backend is None:  # registered but unavailable here — silent fallback
+        return _require(DEFAULT_BACKEND)
+    return backend
+
+
+def _require(name: str) -> KernelBackend:
+    backend = _instance(name)
+    if backend is None:  # pragma: no cover - numpy backend always constructs
+        raise ConfigurationError(f"kernel backend {name!r} failed to initialise")
+    return backend
+
+
+@contextmanager
+def use_backend(
+    name: Union[str, KernelBackend],
+) -> Iterator[KernelBackend]:
+    """Scoped override of the default backend (nests; test/bench helper)."""
+    global _override
+    previous = _override
+    _override = get_backend(name)
+    try:
+        yield _override
+    finally:
+        _override = previous

@@ -8,16 +8,20 @@ Implementation notes
 * Convergence test: ``‖r_k‖₂ ≤ rtol · ‖r₀‖₂`` (the paper reduces the initial
   residual by eight orders of magnitude, i.e. ``rtol = 1e-8``) with an
   absolute floor ``atol`` for the ``b = 0`` corner.
-* Vectors are updated in place (``out=`` keywords) — the AXPY pattern the
-  HPC guides recommend; a preallocated ``nnz``-length scratch buffer is
-  threaded through the SpMV so the loop makes no per-iteration gather
-  allocations either.
+* The loop is **zero-allocation**: ``r``/``d``/``q``/``z`` plus one AXPY
+  workspace and one ``nnz``-length SpMV gather scratch are allocated once
+  up front, and every per-iteration operation — the SpMV, the fused
+  iterate update (:meth:`~repro.kernels.base.KernelBackend.pcg_step`), the
+  preconditioner application (``apply_into`` when the preconditioner
+  supports it) and the direction update — runs in place through the active
+  :mod:`repro.kernels` backend.
 * ``flops`` counts the classic 2·nnz per SpMV, 2n per dot, 2n per AXPY and
   the preconditioner's own estimate, feeding the roofline model.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -25,6 +29,7 @@ import numpy as np
 from repro import trace
 from repro._typing import FloatArray
 from repro.errors import ShapeError
+from repro.kernels import get_backend
 from repro.solvers.convergence import ConvergenceHistory, SolveResult
 from repro.solvers.preconditioners import IdentityPreconditioner, Preconditioner
 from repro.sparse.csr import CSRMatrix
@@ -82,6 +87,7 @@ def pcg(
         n=a.n_rows,
         nnz=a.nnz,
         preconditioned=preconditioner is not None,
+        backend=get_backend().name,
     ):
         result = _pcg(
             a, b, preconditioner=preconditioner, x0=x0, rtol=rtol, atol=atol,
@@ -112,6 +118,10 @@ def _pcg(
     if rtol < 0 or atol < 0:
         raise ValueError("tolerances must be non-negative")
     M = preconditioner if preconditioner is not None else IdentityPreconditioner(n)
+    backend = get_backend()
+    # Preconditioners exposing ``apply_into`` (FSAI, the trivial baselines)
+    # write into the preallocated ``z``; anything else falls back to a copy.
+    apply_into = getattr(M, "apply_into", None)
 
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
     if x.shape != (n,):
@@ -122,14 +132,15 @@ def _pcg(
     flops = 0
 
     # r0 = b - A x0 (skip the SpMV when x0 = 0).
+    r = np.empty(n)
     if x0 is None or not np.any(x):
-        r = b.copy()
+        np.copyto(r, b)
     else:
-        r = b - a.matvec(x)
+        np.subtract(b, a.matvec(x), out=r)
         flops += spmv_flops + n
 
     history = ConvergenceHistory() if record_history else None
-    r_norm0 = float(np.linalg.norm(r))
+    r_norm0 = math.sqrt(backend.dot(r, r))
     if history is not None:
         history.record(r_norm0)
     threshold = max(rtol * r_norm0, atol)
@@ -140,22 +151,39 @@ def _pcg(
             history=history, flops=flops,
         )
 
-    z = M.apply(r)
+    # The loop's entire working set, allocated once: three n-vectors plus a
+    # shared AXPY workspace and the nnz-length SpMV gather scratch.  Every
+    # statement below updates these buffers in place.
+    z = np.empty(n)
+    q = np.empty(n)
+    work = np.empty(n)
+    spmv_scratch = np.empty(a.nnz)
+    # Bound product handle: format selection and view lookup resolved
+    # once, so each iteration's SpMV is a single call into the kernel.
+    spmv_op = backend.spmv_op(a, spmv_scratch)
+
+    if apply_into is not None:
+        apply_into(r, z)
+    else:
+        z[:] = M.apply(r)
     flops += precond_flops
     d = z.copy()
-    rho = float(r @ z)
+    rho = backend.dot(r, z)
     flops += 2 * n
 
     iterations = 0
     converged = False
     r_norm = r_norm0
-    # One nnz-length scratch buffer shared by every SpMV in the loop — the
-    # gather/product temporary is the last remaining per-iteration allocation.
-    spmv_scratch = np.empty(a.nnz)
+    # Hot-loop locals: one attribute lookup per solve, not per iteration.
+    dot = backend.dot
+    pcg_step = backend.pcg_step
+    pcg_direction = backend.pcg_direction
     for iterations in range(1, max_iterations + 1):
         trace.add_counter("cg.iterations")  # no-op unless tracing is on
-        q = a.matvec(d, scratch=spmv_scratch)
-        dq = float(d @ q)
+        # Bound handle: shapes were validated once before the loop, so the
+        # matvec wrapper's per-call checks are skipped here.
+        spmv_op(d, q)
+        dq = dot(d, q)
         flops += spmv_flops + 2 * n
         if dq <= 0:
             # Indefinite or numerically broken-down system: stop with the
@@ -163,22 +191,24 @@ def _pcg(
             iterations -= 1
             break
         alpha = rho / dq
-        x += alpha * d
-        r -= alpha * q
+        # Fused in-place update: x += alpha d; r -= alpha q; new r·r back.
+        rr = pcg_step(alpha, x, d, r, q, work)
         flops += 4 * n
-        r_norm = float(np.linalg.norm(r))
+        r_norm = math.sqrt(rr)
         flops += 2 * n
         if history is not None:
             history.record(r_norm)
         if r_norm <= threshold:
             converged = True
             break
-        z = M.apply(r)
-        rho_new = float(r @ z)
+        if apply_into is not None:
+            apply_into(r, z)
+        else:
+            z[:] = M.apply(r)
+        rho_new = dot(r, z)
         flops += precond_flops + 2 * n
         beta = rho_new / rho
-        d *= beta
-        d += z
+        pcg_direction(beta, d, z)
         flops += 2 * n
         rho = rho_new
 

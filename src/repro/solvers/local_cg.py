@@ -5,7 +5,8 @@ each prospective ``G`` entry, so it solves the local Frobenius systems "via
 several iterations of the CG method with a relatively high tolerance".  This
 module provides exactly that: a dense CG that stops early, plus a batched
 variant that advances many equally-sized systems in lockstep with stacked
-matrix-vector products (one ``np.einsum`` per iteration for a whole bucket).
+matrix-vector products (one kernel-backend ``stacked_matvec`` per
+iteration for a whole bucket, into a reused output buffer).
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import numpy as np
 from repro import trace
 from repro._typing import FloatArray
 from repro.errors import ShapeError
+from repro.kernels import get_backend
 
 __all__ = [
     "solve_spd_approximate",
@@ -98,19 +100,22 @@ def solve_spd_approximate_stacked(
     X = np.zeros((m, k))
     if m == 0 or k == 0:
         return X
-    with trace.span("solvers.local_cg", systems=m, size=k):
+    backend = get_backend()
+    with trace.span("solvers.local_cg", systems=m, size=k,
+                    backend=backend.name):
         R = B.copy()
         norm0 = np.linalg.norm(R, axis=1)
         active = norm0 > 0
         D = R.copy()
         rho = np.einsum("ij,ij->i", R, R)
+        Q = np.empty((m, k))  # stacked-matvec output, reused every iteration
         for _ in range(max_iterations):
             if not active.any():
                 break
             if trace.enabled():
                 trace.add_counter("local_cg.iterations")
                 trace.add_counter("local_cg.active_systems", int(active.sum()))
-            Q = np.einsum("ijk,ik->ij", A, D)
+            backend.stacked_matvec(A, D, out=Q)
             dq = np.einsum("ij,ij->i", D, Q)
             ok = active & (dq > 0)
             if not ok.any():

@@ -21,7 +21,12 @@ __all__ = ["Preconditioner", "IdentityPreconditioner", "JacobiPreconditioner"]
 
 @runtime_checkable
 class Preconditioner(Protocol):
-    """Anything PCG can use: application plus a per-application flop count."""
+    """Anything PCG can use: application plus a per-application flop count.
+
+    Implementations may additionally offer ``apply_into(r, out)`` writing
+    the result into a caller-owned buffer; the PCG loop uses it when
+    present to stay allocation-free (all shipped preconditioners do).
+    """
 
     def apply(self, r: FloatArray) -> FloatArray:
         """Return ``z ≈ A^{-1} r``."""
@@ -42,6 +47,13 @@ class IdentityPreconditioner:
         if r.shape != (self.n,):
             raise ShapeError(f"expected vector of length {self.n}")
         return r.copy()
+
+    def apply_into(self, r: FloatArray, out: FloatArray) -> FloatArray:
+        """``out[:] = r`` — the allocation-free variant."""
+        if r.shape != (self.n,):
+            raise ShapeError(f"expected vector of length {self.n}")
+        np.copyto(out, r)
+        return out
 
     def flops_per_application(self) -> int:
         return 0
@@ -70,6 +82,13 @@ class JacobiPreconditioner:
         if r.shape != (self.n,):
             raise ShapeError(f"expected vector of length {self.n}")
         return r * self._inv_diag
+
+    def apply_into(self, r: FloatArray, out: FloatArray) -> FloatArray:
+        """``out = D^{-1} r`` without allocating the result."""
+        if r.shape != (self.n,):
+            raise ShapeError(f"expected vector of length {self.n}")
+        np.multiply(r, self._inv_diag, out=out)
+        return out
 
     def flops_per_application(self) -> int:
         return self.n

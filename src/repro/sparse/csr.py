@@ -2,21 +2,22 @@
 
 :class:`CSRMatrix` is the computational workhorse of the library: the CG
 solver, the FSAI preconditioner application and the cache simulator all
-consume CSR.  Kernels are fully vectorised (no per-element Python):
-
-* ``A @ x``  —  gather ``x[indices]``, multiply by ``data``, segment-sum with
-  ``np.bincount`` over a cached row-id expansion;
-* ``A.T @ x`` —  scatter-add formulation with ``np.bincount`` over column
-  indices, which lets us apply ``G`` and ``G^T`` from a single stored matrix
-  exactly as the paper's FSAI application does.
+consume CSR.  The kernels themselves live in :mod:`repro.kernels` — a
+pluggable backend registry (``numpy``/``numba``/``reference``) —
+:meth:`matvec`/:meth:`rmatvec` validate shapes, then delegate to the
+active backend.  The matrix caches the structure views the backends need
+(row-id expansion, row segment starts, the column-grouped entry
+permutation) so repeated products pay for them once.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro._einsum import _einsum
 from repro._typing import (
     FloatArray,
     IndexArray,
@@ -24,9 +25,216 @@ from repro._typing import (
     as_value_array,
 )
 from repro.errors import ShapeError
+from repro.kernels import get_backend
 from repro.sparse.pattern import Pattern, _validate_structure
 
-__all__ = ["CSRMatrix"]
+__all__ = ["CSRMatrix", "ColSegments", "EllView"]
+
+#: ELL fast-path gates (see :meth:`CSRMatrix.ell_view`): below the nnz
+#: floor the segment-sum path's fixed cost is already negligible, and the
+#: tiny-matrix scratch contract stays observable; above the padding ratio
+#: the zero-filled tail would waste more bandwidth than the per-segment
+#: reduction machinery costs.
+_ELL_MIN_NNZ = 256
+_ELL_MAX_PAD = 1.5
+
+#: A DIA view stores ``n_diagonals * n`` values; build it only when that
+#: is within this factor of the stored entry count (true stencils sit
+#: near 1.0, anything unstructured blows past it immediately).
+_DIA_MAX_FILL = 1.5
+
+#: Hybrid (HYB) split gates for matrices that are *almost* stencils:
+#: diagonals at least this occupied go into the DIA part (below ~25%
+#: occupancy the padded einsum row costs more than scattering the same
+#: entries through ``bincount``), and the split is only worthwhile when
+#: the DIA part captures at least this fraction of the stored entries.
+_HYB_MIN_OCCUPANCY = 0.25
+_HYB_MIN_COVERAGE = 0.5
+
+#: A HYB remainder whose rows pad to within this factor is stored in ELL
+#: form (gather + einsum row-dot beats the ``bincount`` scatter); sparser
+#: remainders stay COO.  Looser than ``_ELL_MAX_PAD`` because the
+#: alternative here is the pricey scatter, not a tuned segment sum.
+_HYB_REM_MAX_PAD = 2.0
+
+#: Cache slot sentinel: "not computed yet" (``None`` means "ineligible").
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ColSegments:
+    """Column-grouped view of a CSR matrix's entries (cached, immutable).
+
+    ``rows``/``data`` are the entry row ids and values permuted into
+    column-major order (stable sort by column, so row order is preserved
+    within a column); ``starts`` marks each column group's first position.
+    ``cols`` lists the group's column ids, or ``None`` when every column
+    is non-empty (then group ``j`` is column ``j``).  This is exactly the
+    structure a transpose product needs: ``A.T @ x`` is a gather over
+    ``rows`` followed by one segment sum per group.
+    """
+
+    rows: IndexArray
+    data: FloatArray
+    starts: IndexArray
+    cols: Optional[IndexArray]
+
+
+class DiaView:
+    """Diagonal (DIA) view of a stencil-structured CSR matrix (cached).
+
+    For matrices whose entries concentrate on a few diagonals — the
+    discretized-PDE shape of the paper's suite — SpMV needs no gather at
+    all: ``y[i] = sum_d data[d, i] * x[i + offset_d]`` where each shifted
+    ``x`` is a *contiguous window* of a zero-padded copy.  The view owns
+    that padded buffer and a precomputed sliding-window view over it, so
+    one product is: refill the pad interior, select ``k`` window rows
+    (``k`` contiguous copies, no random access), one ``einsum`` row-dot.
+
+    Almost-stencils (a dominant band plus scattered off-band entries, as
+    boundary conditions and irregular couplings produce) get a *hybrid*
+    split in the spirit of the classic HYB format: the well-occupied
+    diagonals form the DIA part and the leftover entries are applied as a
+    COO remainder through one gather + ``bincount`` scatter per product.
+
+    When the remainder is empty, offsets ascend, so per output element
+    the ``k`` terms accumulate in column order — the same sequential
+    order as the CSR reference kernel, keeping the pure-stencil fast path
+    bit-exact, not just close.  A non-empty remainder reorders the
+    accumulation (DIA terms first, scattered terms second), which is
+    float-associativity-accurate rather than bitwise.
+
+    The padded buffer is per-matrix mutable scratch: products on the same
+    matrix are not re-entrant (single-threaded solver loops, the only
+    consumer, never interleave them).
+    """
+
+    __slots__ = (
+        "data", "sel", "xp", "windows", "lo", "n_in", "n_out",
+        "rem_out", "rem_in", "rem_data", "rem_buf", "rem_ell",
+    )
+
+    def __init__(self, data: FloatArray, offsets: IndexArray,
+                 n_in: int, n_out: int,
+                 rem_out: Optional[IndexArray] = None,
+                 rem_in: Optional[IndexArray] = None,
+                 rem_data: Optional[FloatArray] = None,
+                 rem_ell: Optional["EllView"] = None) -> None:
+        self.data = data  # (k, n_out): data[d, i] = A[i, i + offsets[d]]
+        lo = max(0, -int(offsets[0]))
+        hi = max(0, int(offsets[-1]) + n_out - n_in)
+        self.xp = np.zeros(n_in + lo + hi)
+        self.windows = np.lib.stride_tricks.sliding_window_view(self.xp, n_out)
+        self.sel = offsets + lo
+        self.lo = lo
+        self.n_in = n_in
+        self.n_out = n_out
+        self.rem_out = rem_out  # COO remainder (HYB split), or None
+        self.rem_in = rem_in
+        self.rem_data = rem_data
+        self.rem_buf = None if rem_data is None else np.empty(len(rem_data))
+        self.rem_ell = rem_ell  # row-padded remainder (see _HYB_REM_MAX_PAD)
+
+    def apply(self, x: FloatArray, out: FloatArray) -> FloatArray:
+        """``out[i] = sum_d data[d, i] * x[i + offset_d]`` (+ remainder)."""
+        self.xp[self.lo:self.lo + self.n_in] = x
+        _einsum("kn,kn->n", self.data, self.windows[self.sel], out=out)
+        if self.rem_ell is not None:
+            out += _einsum(
+                "ij,ij->i", self.rem_ell.data, x.take(self.rem_ell.gather_ids)
+            )
+        elif self.rem_out is not None:
+            np.multiply(self.rem_data, x[self.rem_in], out=self.rem_buf)
+            out += np.bincount(
+                self.rem_out, weights=self.rem_buf, minlength=self.n_out,
+            )
+        return out
+
+
+def _build_dia(
+    offs_per_entry: np.ndarray, out_ids: IndexArray, in_ids: IndexArray,
+    values: FloatArray, n_in: int, n_out: int,
+) -> Optional[DiaView]:
+    """DIA view over entries at ``(out_ids, out_ids + offs_per_entry)``.
+
+    Pure stencils (every diagonal worth storing) get an exact DIA view;
+    almost-stencils get the HYB split with the under-occupied diagonals'
+    entries kept as a COO remainder; anything unstructured returns
+    ``None`` and the caller falls back to ELL / segment sums.
+    """
+    nnz = len(values)
+    if nnz < _ELL_MIN_NNZ:
+        return None
+    offsets, counts = np.unique(offs_per_entry, return_counts=True)
+    k = len(offsets)
+    if k == 0:
+        return None
+    if k * n_out <= _DIA_MAX_FILL * nnz:  # true stencil: exact DIA
+        data = np.zeros((k, n_out))
+        data[np.searchsorted(offsets, offs_per_entry), out_ids] = values
+        return DiaView(data, offsets, n_in, n_out)
+    dense = offsets[counts >= _HYB_MIN_OCCUPANCY * n_out]
+    if len(dense) == 0:
+        return None
+    on_band = np.isin(offs_per_entry, dense)
+    if int(on_band.sum()) < _HYB_MIN_COVERAGE * nnz:
+        return None
+    data = np.zeros((len(dense), n_out))
+    data[
+        np.searchsorted(dense, offs_per_entry[on_band]), out_ids[on_band]
+    ] = values[on_band]
+    off_band = ~on_band
+    rem_out, rem_in = out_ids[off_band], in_ids[off_band]
+    rem_values = values[off_band]
+    # Dense-ish remainders are cheaper row-padded (gather + einsum) than
+    # scattered through bincount; group them by output id first.
+    order = np.argsort(rem_out, kind="stable")
+    rem_ell = _build_ell(
+        np.bincount(rem_out, minlength=n_out), rem_in[order],
+        rem_values[order], n_out, max_pad=_HYB_REM_MAX_PAD,
+    )
+    if rem_ell is not None:
+        return DiaView(data, dense, n_in, n_out, rem_ell=rem_ell)
+    return DiaView(
+        data, dense, n_in, n_out,
+        rem_out=rem_out, rem_in=rem_in, rem_data=rem_values,
+    )
+
+
+@dataclass(frozen=True)
+class EllView:
+    """Row-padded (ELLPACK) view of a CSR matrix (cached, immutable).
+
+    Every row is padded to the widest row's length: ``gather_ids`` and
+    ``data`` are ``(n_rows, width)`` arrays where padding slots gather
+    index 0 against a stored value of 0.0, so a product over the padded
+    arrays equals the exact CSR product.  SpMV then collapses to one 2-D
+    gather and one ``einsum`` row-dot — two NumPy calls with no
+    per-segment reduction machinery — which is the numpy backend's fast
+    path for the near-uniform row lengths of FEM/stencil matrices.
+    """
+
+    gather_ids: IndexArray
+    data: FloatArray
+
+
+def _build_ell(
+    counts: np.ndarray, gather_ids: IndexArray, values: FloatArray,
+    n_groups: int, max_pad: float = _ELL_MAX_PAD,
+) -> Optional[EllView]:
+    """Pad ``counts``-sized groups to uniform width, or ``None`` if wasteful."""
+    nnz = len(values)
+    if nnz < _ELL_MIN_NNZ:
+        return None
+    width = int(counts.max()) if n_groups else 0
+    if width == 0 or n_groups * width > max_pad * nnz:
+        return None
+    idx = np.zeros((n_groups, width), dtype=np.int64)
+    dat = np.zeros((n_groups, width))
+    valid = np.arange(width) < counts[:, None]
+    idx[valid] = gather_ids
+    dat[valid] = values
+    return EllView(gather_ids=idx, data=dat)
 
 
 class CSRMatrix:
@@ -45,7 +253,8 @@ class CSRMatrix:
 
     __slots__ = (
         "n_rows", "n_cols", "indptr", "indices", "data", "_row_ids",
-        "_entry_keys",
+        "_entry_keys", "_row_segments", "_col_segments", "_ell", "_ell_t",
+        "_dia", "_dia_t",
     )
 
     def __init__(
@@ -65,6 +274,12 @@ class CSRMatrix:
             )
         self._row_ids: Optional[IndexArray] = None  # lazy np.repeat expansion
         self._entry_keys: Optional[IndexArray] = None  # lazy row-major keys
+        self._row_segments: Optional[Tuple] = None  # lazy kernel row starts
+        self._col_segments: Optional[ColSegments] = None  # lazy column view
+        self._ell = _UNSET  # lazy row-padded view (None = ineligible)
+        self._ell_t = _UNSET  # lazy column-padded view for A.T products
+        self._dia = _UNSET  # lazy diagonal view (None = not a stencil)
+        self._dia_t = _UNSET  # lazy diagonal view of A.T
 
     # ------------------------------------------------------------------
     # Structure
@@ -109,63 +324,148 @@ class CSRMatrix:
             self._entry_keys = self.row_ids() * np.int64(self.n_cols) + self.indices
         return self._entry_keys
 
+    def row_segments(self) -> Tuple[IndexArray, Optional[IndexArray]]:
+        """``(starts, rows)`` for per-row segment sums (cached).
+
+        Without empty rows — the common case for SPD systems and FSAI
+        factors — ``rows`` is ``None`` and ``starts`` is ``indptr[:-1]``,
+        directly usable as ``np.add.reduceat`` offsets.  With empty rows,
+        ``starts`` holds only the non-empty rows' offsets and ``rows``
+        their row ids (the empty-row correction of the numpy backend).
+        """
+        if self._row_segments is None:
+            starts = self.indptr[:-1]
+            if self.n_rows and np.all(starts != self.indptr[1:]):
+                self._row_segments = (starts, None)
+            else:
+                rows = np.flatnonzero(starts != self.indptr[1:])
+                self._row_segments = (starts[rows], rows)
+        return self._row_segments
+
+    def col_segments(self) -> ColSegments:
+        """Column-grouped entry view for transpose products (cached).
+
+        One stable argsort of ``indices`` permutes the entries into
+        column-major order; the result is cached so every later
+        ``A.T @ x`` is a gather plus one ``reduceat`` — no bincount, no
+        transpose materialisation.
+        """
+        if self._col_segments is None:
+            order = np.argsort(self.indices, kind="stable")
+            sorted_cols = self.indices[order]
+            starts = np.flatnonzero(
+                np.diff(sorted_cols, prepend=np.int64(-1)) != 0
+            )
+            cols: Optional[IndexArray] = sorted_cols[starts]
+            if cols is not None and len(cols) == self.n_cols:
+                cols = None  # every column non-empty: group j is column j
+            self._col_segments = ColSegments(
+                rows=self.row_ids()[order],
+                data=self.data[order],
+                starts=starts,
+                cols=cols,
+            )
+        return self._col_segments
+
+    def dia_view(self) -> Optional[DiaView]:
+        """Diagonal view for the numpy backend's stencil SpMV (cached).
+
+        ``None`` unless the entries concentrate on few enough diagonals
+        (``_DIA_MAX_FILL``, or the ``_HYB_*`` split for almost-stencils);
+        see :class:`DiaView` for the product shape.
+        """
+        if self._dia is _UNSET:
+            self._dia = _build_dia(
+                self.indices - self.row_ids(), self.row_ids(), self.indices,
+                self.data, self.n_cols, self.n_rows,
+            ) if self.n_rows == self.n_cols else None
+        return self._dia
+
+    def dia_t_view(self) -> Optional[DiaView]:
+        """Diagonal view of ``A.T`` for stencil transpose products (cached)."""
+        if self._dia_t is _UNSET:
+            self._dia_t = _build_dia(
+                self.row_ids() - self.indices, self.indices, self.row_ids(),
+                self.data, self.n_rows, self.n_cols,
+            ) if self.n_rows == self.n_cols else None
+        return self._dia_t
+
+    def ell_view(self) -> Optional[EllView]:
+        """Row-padded view for the numpy backend's SpMV fast path (cached).
+
+        Returns ``None`` when padding would be wasteful: fewer than
+        ``_ELL_MIN_NNZ`` entries, or the widest row forcing more than
+        ``_ELL_MAX_PAD``× the stored entry count.  Empty rows need no
+        correction here — their padded slots contribute exact zeros.
+        """
+        if self._ell is _UNSET:
+            self._ell = _build_ell(
+                np.diff(self.indptr), self.indices, self.data, self.n_rows
+            )
+        return self._ell
+
+    def ell_t_view(self) -> Optional[EllView]:
+        """Column-padded view for transpose products (cached).
+
+        The column-grouped permutation of :meth:`col_segments` padded to
+        the fullest column's length, so ``A.T @ x`` becomes the same
+        gather + row-dot shape as :meth:`ell_view` gives ``A @ x``.
+        """
+        if self._ell_t is _UNSET:
+            seg = self.col_segments()
+            ends = np.append(seg.starts[1:], self.nnz)
+            group_counts = ends - seg.starts
+            if seg.cols is None:
+                counts = group_counts
+            else:
+                counts = np.zeros(self.n_cols, dtype=np.int64)
+                counts[seg.cols] = group_counts
+            self._ell_t = _build_ell(counts, seg.rows, seg.data, self.n_cols)
+        return self._ell_t
+
     # ------------------------------------------------------------------
-    # Kernels
+    # Kernels (delegated to the repro.kernels backend registry)
     # ------------------------------------------------------------------
-    def _gather_product(
-        self, x: FloatArray, gather_ids: IndexArray,
-        scratch: Optional[FloatArray],
-    ) -> FloatArray:
-        """``data * x[gather_ids]``, into ``scratch`` when one is supplied."""
-        if scratch is None:
-            return self.data * x[gather_ids]
-        if scratch.shape != (self.nnz,):
+    def _check_scratch(self, scratch: Optional[FloatArray]) -> None:
+        if scratch is not None and scratch.shape != (self.nnz,):
             raise ShapeError(
                 f"scratch has shape {scratch.shape}, expected ({self.nnz},)"
             )
-        np.take(x, gather_ids, out=scratch)
-        np.multiply(scratch, self.data, out=scratch)
-        return scratch
 
     def matvec(
         self, x: FloatArray, out: Optional[FloatArray] = None,
-        *, scratch: Optional[FloatArray] = None,
+        *, scratch: Optional[FloatArray] = None, backend=None,
     ) -> FloatArray:
-        """``y = A @ x`` — vectorised CSR SpMV.
+        """``y = A @ x`` — CSR SpMV via the active kernel backend.
 
         ``out`` may be supplied to receive the result.  ``scratch`` — an
         ``nnz``-length float buffer — eliminates the per-call gather/product
-        allocation (``np.take``/``np.multiply`` with ``out=``), which is the
-        only allocation the CG hot loop would otherwise make per iteration.
+        allocation on the numpy backends, which is the only allocation the
+        CG hot loop would otherwise make per iteration.  ``backend`` names
+        a registered kernel backend (default: the registry's active one).
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n_cols,):
             raise ShapeError(f"x has shape {x.shape}, expected ({self.n_cols},)")
-        prod = self._gather_product(x, self.indices, scratch)
-        y = np.bincount(self.row_ids(), weights=prod, minlength=self.n_rows)
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        self._check_scratch(scratch)
+        return get_backend(backend).spmv(self, x, out=out, scratch=scratch)
 
     def rmatvec(
         self, x: FloatArray, out: Optional[FloatArray] = None,
-        *, scratch: Optional[FloatArray] = None,
+        *, scratch: Optional[FloatArray] = None, backend=None,
     ) -> FloatArray:
         """``y = A.T @ x`` without materialising the transpose.
 
-        Scatter formulation: every stored entry ``(i, j, v)`` contributes
-        ``v * x[i]`` to ``y[j]``.  ``scratch`` works as in :meth:`matvec`.
+        Every stored entry ``(i, j, v)`` contributes ``v * x[i]`` to
+        ``y[j]``; the active backend chooses between scatter-add and the
+        cached column-grouped segment sum.  ``out``/``scratch``/``backend``
+        work as in :meth:`matvec`.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n_rows,):
             raise ShapeError(f"x has shape {x.shape}, expected ({self.n_rows},)")
-        prod = self._gather_product(x, self.row_ids(), scratch)
-        y = np.bincount(self.indices, weights=prod, minlength=self.n_cols)
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        self._check_scratch(scratch)
+        return get_backend(backend).spmv_t(self, x, out=out, scratch=scratch)
 
     def __matmul__(self, x):
         return self.matvec(x)

@@ -1,0 +1,118 @@
+"""Registry behavior: selection order, fallbacks, overrides (ISSUE 4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    available_backends,
+    get_backend,
+    register_backend,
+    use_backend,
+)
+from repro.kernels.numba_backend import NUMBA_AVAILABLE
+
+
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert get_backend().name == DEFAULT_BACKEND == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "reference")
+        assert get_backend().name == "reference"
+
+    def test_env_var_is_normalised(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "  RefErence ")
+        assert get_backend().name == "reference"
+
+    def test_empty_env_var_means_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "")
+        assert get_backend().name == DEFAULT_BACKEND
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "reference")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            get_backend("does-not-exist")
+
+    def test_instance_passthrough(self):
+        backend = get_backend("reference")
+        assert get_backend(backend) is backend
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+
+class TestOptionalNumba:
+    """`numba` must accelerate when present and vanish silently when not."""
+
+    def test_numba_resolves_somewhere(self):
+        backend = get_backend("numba")
+        expected = "numba" if NUMBA_AVAILABLE else "numpy"
+        assert backend.name == expected
+
+    def test_auto_picks_fastest_available(self):
+        backend = get_backend("auto")
+        expected = "numba" if NUMBA_AVAILABLE else "numpy"
+        assert backend.name == expected
+
+    def test_availability_listing(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "reference" in names
+        assert ("numba" in names) == NUMBA_AVAILABLE
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="needs a numba-free env")
+    def test_missing_numba_falls_back_silently(self):
+        # The ISSUE 4 acceptance check: requesting the optional backend on
+        # a machine without it must not raise, warn, or change semantics.
+        assert get_backend("numba").name == "numpy"
+
+
+class TestOverride:
+    def test_use_backend_scopes_the_override(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with use_backend("reference") as backend:
+            assert backend.name == "reference"
+            assert get_backend() is backend
+        assert get_backend().name == DEFAULT_BACKEND
+
+    def test_use_backend_nests(self):
+        with use_backend("reference"):
+            with use_backend("numpy"):
+                assert get_backend().name == "numpy"
+            assert get_backend().name == "reference"
+
+    def test_use_backend_restores_on_error(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with pytest.raises(RuntimeError):
+            with use_backend("reference"):
+                raise RuntimeError("boom")
+        assert get_backend().name == DEFAULT_BACKEND
+
+    def test_use_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        with use_backend("reference"):
+            assert get_backend().name == "reference"
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend("numpy", lambda: None)
+
+    def test_unavailable_factory_stays_out_of_listing(self):
+        # A factory returning None marks "registered but cannot run here".
+        register_backend("test-ghost", lambda: None)
+        try:
+            assert "test-ghost" not in available_backends()
+            assert get_backend("test-ghost").name == DEFAULT_BACKEND
+        finally:
+            from repro.kernels import registry
+
+            registry._factories.pop("test-ghost", None)
+            registry._instances.pop("test-ghost", None)
