@@ -22,6 +22,13 @@ Components (each timed as min over repetitions, §7.1 style):
 * ``pcg_iteration`` — a fixed PCG iteration budget end to end: the seed's
   allocating loop vs the zero-allocation loop on the ``numpy`` backend
   (asserted >= ``MIN_PCG_SPEEDUP``).
+* ``pcg_multi_rhs`` — the serving workload: 32 right-hand sides against
+  small operators, looped single-RHS ``pcg`` vs one blocked ``pcg_multi``
+  (asserted >= ``MIN_MULTI_RHS_SPEEDUP``; RHS/sec at widths 1/8/32 is
+  recorded in the component detail).  Small systems are the honest
+  regime for this gate: the blocked path amortizes per-call dispatch
+  across the block, while at large ``n`` both sides are bandwidth-bound
+  and NumPy cannot register-tile the extra columns.
 """
 
 from pathlib import Path
@@ -35,6 +42,7 @@ from repro.arch.presets import SKYLAKE
 from repro.cachesim.cache import SetAssociativeCache
 from repro.cachesim.stackdist import stack_distances
 from repro.cachesim.trace import spmv_trace
+from repro.collection.generators.fd import poisson2d
 from repro.collection.suite import get_case, suite72
 from repro.fsai.frobenius import compute_g
 from repro.fsai.patterns import fsai_initial_pattern
@@ -42,7 +50,7 @@ from repro.fsai.precond import FSAIApplication
 from repro.kernels import get_backend
 from repro.perf.regression import RegressionComponent, RegressionRecord
 from repro.perf.timer import min_over_repetitions
-from repro.solvers.cg import pcg
+from repro.solvers.cg import pcg, pcg_multi
 
 CASE_IDS = BENCH_CASE_IDS or tuple(c.case_id for c in suite72())
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
@@ -52,6 +60,20 @@ MIN_COMPOSITE_SPEEDUP = 5.0
 
 #: ISSUE 4 acceptance floor for the kernel-backend PCG loop alone.
 MIN_PCG_SPEEDUP = 2.0
+
+#: ISSUE 5 acceptance floor: throughput (RHS/sec) of ``pcg_multi`` with a
+#: 32-wide block over looping the single-RHS solver, numpy backend.
+MIN_MULTI_RHS_SPEEDUP = 3.0
+
+#: Gated block width, and the width sweep recorded as RHS/sec.
+MULTI_RHS_WIDTH = 32
+MULTI_RHS_WIDTHS = (1, 8, 32)
+
+#: Serving-style operators for the multi-RHS component (poisson2d grid
+#: sides -> n = 144, 256): many right-hand sides against small systems,
+#: where the looped solver pays its python dispatch per column and the
+#: blocked solver pays it once per iteration.
+MULTI_RHS_GRIDS = (12, 16)
 
 REPETITIONS = 2
 
@@ -232,6 +254,55 @@ def test_engine_speedup(benchmark, capsys):
                     max_iterations=PCG_ITERATIONS, record_history=False)
         return run
 
+    # Serving workload for the multi-RHS gate: contiguous per-width blocks
+    # and pre-split contiguous columns, applications built (and their
+    # kernel handles bound) outside every timed window.
+    rng = np.random.default_rng(11)
+    multi_work = []
+    for side in MULTI_RHS_GRIDS:
+        a = poisson2d(side)
+        g = compute_g(a, fsai_initial_pattern(a))
+        block = np.ascontiguousarray(
+            rng.standard_normal((a.n_rows, MULTI_RHS_WIDTH))
+        )
+        cols = [np.ascontiguousarray(block[:, j])
+                for j in range(MULTI_RHS_WIDTH)]
+        blocks = {
+            k: np.ascontiguousarray(block[:, :k]) for k in MULTI_RHS_WIDTHS
+        }
+        multi_work.append((a, g, blocks, cols))
+
+    def multi_ref():
+        apps = [FSAIApplication(g) for _, g, _, _ in multi_work]
+        def run():
+            for (a, _, _, cols), app in zip(multi_work, apps):
+                for c in cols:
+                    pcg(a, c, preconditioner=app, rtol=0.0, atol=0.0,
+                        max_iterations=PCG_ITERATIONS, record_history=False)
+        return run
+
+    def multi_opt(width):
+        apps = [FSAIApplication(g) for _, g, _, _ in multi_work]
+        def run():
+            for (a, _, blocks, _), app in zip(multi_work, apps):
+                pcg_multi(a, blocks[width], preconditioner=app,
+                          rtol=0.0, atol=0.0,
+                          max_iterations=PCG_ITERATIONS,
+                          record_history=False)
+        return run
+
+    # Width sweep first: RHS/sec per block width goes into the component
+    # detail (and the artifact) so throughput scaling is visible next to
+    # the gated ratio.
+    rhs_per_sec = {}
+    for width in MULTI_RHS_WIDTHS:
+        fn = multi_opt(width)
+        fn()
+        seconds, _ = min_over_repetitions(
+            fn, repetitions=KERNEL_REPETITIONS
+        )
+        rhs_per_sec[width] = width * len(multi_work) / seconds
+
     components = [
         _component(
             "stack_distances", f"{len(traces)} traces, {n_accesses} accesses",
@@ -262,6 +333,16 @@ def test_engine_speedup(benchmark, capsys):
             pcg_ref(), pcg_opt(), repetitions=KERNEL_REPETITIONS,
             floor=MIN_PCG_SPEEDUP,
         ),
+        _component(
+            "pcg_multi_rhs",
+            f"{len(multi_work)} systems x {MULTI_RHS_WIDTH} rhs x "
+            f"{PCG_ITERATIONS} iterations, numpy backend; rhs/sec "
+            + ", ".join(
+                f"k={k}: {rhs_per_sec[k]:.0f}" for k in MULTI_RHS_WIDTHS
+            ),
+            multi_ref(), multi_opt(MULTI_RHS_WIDTH),
+            repetitions=KERNEL_REPETITIONS, floor=MIN_MULTI_RHS_SPEEDUP,
+        ),
     ]
 
     # One traced pass over the optimized composite: the record then carries
@@ -272,6 +353,10 @@ def test_engine_speedup(benchmark, capsys):
         _, a, _, g, b = work[0]
         pcg(a, b, preconditioner=FSAIApplication(g), rtol=0.0, atol=0.0,
             max_iterations=3, record_history=False)
+        ma, mg, mblocks, _ = multi_work[0]
+        pcg_multi(ma, mblocks[MULTI_RHS_WIDTH],
+                  preconditioner=FSAIApplication(mg), rtol=0.0, atol=0.0,
+                  max_iterations=3, record_history=False)
     record = RegressionRecord(
         label="vectorized engine + bucketed FSAI setup + kernel backends",
         scope=scope_note(),
@@ -293,10 +378,17 @@ def test_engine_speedup(benchmark, capsys):
             print("  " + line)
 
     benchmark.extra_info["composite_speedup"] = round(record.speedup, 2)
+    benchmark.extra_info["multi_rhs_per_sec"] = {
+        f"k={k}": round(rhs_per_sec[k], 1) for k in MULTI_RHS_WIDTHS
+    }
     by_name = {c.name: c for c in components}
     assert by_name["pcg_iteration"].speedup >= MIN_PCG_SPEEDUP, (
         f"pcg_iteration speedup {by_name['pcg_iteration'].speedup:.2f}x "
         f"fell below {MIN_PCG_SPEEDUP:.1f}x — see {ARTIFACT}"
+    )
+    assert by_name["pcg_multi_rhs"].speedup >= MIN_MULTI_RHS_SPEEDUP, (
+        f"pcg_multi_rhs speedup {by_name['pcg_multi_rhs'].speedup:.2f}x "
+        f"fell below {MIN_MULTI_RHS_SPEEDUP:.1f}x — see {ARTIFACT}"
     )
     assert record.speedup >= MIN_COMPOSITE_SPEEDUP, (
         f"composite speedup {record.speedup:.2f}x fell below "

@@ -49,6 +49,8 @@ from repro.collection.suite import MatrixCase, get_case, suite72
 from repro.errors import CampaignIncompleteError, ConfigurationError
 from repro.experiments.campaign import CampaignResult
 from repro.experiments.runner import CaseResult, ExperimentConfig, run_case
+from repro.kernels import ENV_VAR as KERNEL_BACKEND_ENV_VAR
+from repro.kernels import get_backend
 from repro.parallel.cost import estimate_case_seconds, order_cases_by_cost
 from repro.perf.metrics import OrchestrationMetrics
 
@@ -229,15 +231,24 @@ def _default_case_runner(case: MatrixCase, config: ExperimentConfig) -> CaseResu
     return run_case(case, config)
 
 
-def _worker_main(conn, case_runner, case, config, tracing=False) -> None:
+def _worker_main(conn, case_runner, case, config, tracing=False,
+                 kernel_backend=None) -> None:
     """Run one case and report ``("ok", dict)`` or ``("error", dict)``.
 
     With ``tracing=True`` the case runs under a fresh per-worker collector;
     :func:`~repro.experiments.runner.run_case` attaches the span tree to
     the result, so it crosses the process boundary inside the result dict
     (and from there rides the JSONL checkpoint shards unchanged).
+
+    ``kernel_backend`` is the backend name the *parent* resolved; pinning
+    it into ``$REPRO_KERNEL_BACKEND`` here makes the worker solve with the
+    same kernels regardless of start method — a fork inherits the parent's
+    environment but not a ``use_backend(...)`` context override, and a
+    spawn inherits neither.
     """
     try:
+        if kernel_backend is not None:
+            os.environ[KERNEL_BACKEND_ENV_VAR] = kernel_backend
         if tracing:
             with trace.collecting():
                 result = case_runner(case, config)
@@ -446,6 +457,9 @@ def run_campaign_parallel(
     runner = case_runner or _default_case_runner
     if trace_spans is None:
         trace_spans = trace.enabled()
+    # Resolve the kernel backend once in the parent (honouring any active
+    # use_backend(...) override) and propagate the *name* to every worker.
+    kernel_backend = get_backend().name
     cfg_hash = config.config_hash()
     ckpt_path: Optional[Path] = None
     if checkpoint_dir is not None:
@@ -484,7 +498,8 @@ def run_campaign_parallel(
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, runner, task.case, config, trace_spans),
+            args=(child_conn, runner, task.case, config, trace_spans,
+                  kernel_backend),
             daemon=True,
         )
         proc.start()

@@ -28,6 +28,7 @@ from repro.fsai.extended import (
     setup_fsaie_random,
     setup_fsaie_sp,
 )
+from repro.kernels import get_backend
 from repro.perf.costmodel import CostModel, KernelCost
 from repro.solvers.cg import pcg
 from repro.sparse.csr import CSRMatrix
@@ -153,6 +154,11 @@ class CaseResult:
     #: Per-case span tree, set when the case ran under ``trace.collecting``
     #: (campaign artifacts then carry phase breakdowns; see docs/tracing.md).
     trace_summary: Optional[TraceSummary] = None
+    #: Name of the kernel backend that actually ran the solves
+    #: (``numpy``/``numba``/``reference``) — resolved *inside* the process
+    #: that executed the case, so orchestrated campaigns record which
+    #: implementation produced each result even across worker processes.
+    kernel_backend: Optional[str] = None
 
     def get(self, method: str, filter_value: float) -> MethodRun:
         return self.runs[(method, filter_value)]
@@ -195,6 +201,8 @@ class CaseResult:
         }
         if self.trace_summary is not None:
             payload["trace_summary"] = self.trace_summary.to_dict()
+        if self.kernel_backend is not None:
+            payload["kernel_backend"] = self.kernel_backend
         return payload
 
     @classmethod
@@ -221,6 +229,7 @@ class CaseResult:
                 if "trace_summary" in payload
                 else None
             ),
+            kernel_backend=payload.get("kernel_backend"),  # type: ignore[arg-type]
         )
 
 
@@ -321,7 +330,8 @@ def _run_case(
     baseline = _evaluate(a, b, baseline_setup, model, spmv_a_cost, config)
 
     result = CaseResult(
-        case=case, n=a.n_rows, nnz=a.nnz, machine=machine.name, baseline=baseline
+        case=case, n=a.n_rows, nnz=a.nnz, machine=machine.name,
+        baseline=baseline, kernel_backend=get_backend().name,
     )
     reference_full: Optional[FSAISetup] = None
     for method in config.methods:

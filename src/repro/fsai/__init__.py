@@ -21,6 +21,9 @@ Modules
     End-to-end setups: ``setup_fsai`` (baseline), ``setup_fsaie_sp``
     (Alg. 4 w/o steps 5-6) and ``setup_fsaie_full`` (Alg. 4), plus the
     single-step joint-extension ablation of §6.
+``cache``
+    Bounded LRU of built setups keyed on matrix content, so repeated
+    solves against the same operator skip FSAI setup entirely.
 """
 
 from repro.fsai.patterns import fsai_initial_pattern
@@ -39,6 +42,7 @@ from repro.fsai.filtering import (
 )
 from repro.fsai.random_ext import extend_pattern_random
 from repro.fsai.precond import FSAIApplication
+from repro.fsai.cache import PreconditionerCache, cached_setup, default_cache
 from repro.fsai.extended import (
     FSAISetup,
     setup_fsai,
@@ -63,6 +67,9 @@ __all__ = [
     "extend_pattern_random",
     "FSAIApplication",
     "FSAISetup",
+    "PreconditionerCache",
+    "cached_setup",
+    "default_cache",
     "setup_fsai",
     "setup_fsaie_sp",
     "setup_fsaie_full",

@@ -1,0 +1,177 @@
+"""LRU cache for FSAI setups keyed on matrix content.
+
+FSAI setup is the expensive half of every solve (pattern construction,
+many small dense factorizations, optional precalculation), yet a serving
+workload — "heavy traffic from millions of users" in the ROADMAP's terms
+— repeatedly solves against the *same* operator with fresh right-hand
+sides.  This module makes the second and later requests skip setup
+entirely: a bounded LRU keyed by
+
+``(matrix fingerprint, method, config hash)``
+
+where the fingerprint is :meth:`repro.sparse.csr.CSRMatrix.fingerprint`
+(SHA-256 over dimensions, structure and values, cached on the matrix) and
+the config hash canonicalises the setup keyword arguments, so the same
+matrix under different levels/filters caches separately.
+
+Observability: every probe records a ``fsai.cache_hit`` or
+``fsai.cache_miss`` trace counter (evictions record ``fsai.cache_evict``)
+— see ``docs/tracing.md``.  A hit returns the stored setup without
+invoking the builder, so **no** ``fsai.setup`` span is opened; the trace
+collector is therefore the authoritative witness that setup was skipped,
+which is exactly how ``tests/fsai/test_cache.py`` asserts it.
+
+Thread-safety: probes and insertions hold a lock, so a cache instance may
+be shared across threads.  The campaign orchestrator's *process*-based
+workers each see their own cache (nothing is shared through fork), which
+is the intended isolation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro import trace
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["PreconditionerCache", "cached_setup", "default_cache"]
+
+#: Default bound: a campaign touches a handful of operators at a time;
+#: each cached setup holds a factor of roughly the matrix's size, so the
+#: bound is deliberately small rather than "as much as fits".
+DEFAULT_CAPACITY = 8
+
+
+def _config_key(config: Optional[Dict[str, Any]]) -> str:
+    """Canonical hash of the setup kwargs (order-insensitive, stable)."""
+    payload = json.dumps(config or {}, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class PreconditionerCache:
+    """Bounded LRU of built FSAI setups, keyed on matrix content.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached setups; inserting beyond it evicts the
+        least-recently-used entry.  Must be positive.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Tuple[str, str, str], Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_build(
+        self,
+        a: CSRMatrix,
+        build: Callable[[], Any],
+        *,
+        method: str,
+        config: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Return the cached setup for ``(a, method, config)``, building on miss.
+
+        ``build`` is only invoked on a miss — a hit therefore opens no
+        ``fsai.setup`` span and does no setup work at all.  The built
+        value is stored as-is (setups are treated as immutable; callers
+        must not mutate a cached factor in place).
+        """
+        key = (a.fingerprint(), method, _config_key(config))
+        with self._lock:
+            entry = self._entries.get(key, None)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                trace.add_counter("fsai.cache_hit")
+                return entry
+            self.misses += 1
+        # Build outside the lock: setup is the expensive part, and two
+        # threads racing the same key at worst build twice (last wins).
+        trace.add_counter("fsai.cache_miss")
+        value = build()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                trace.add_counter("fsai.cache_evict")
+        return value
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counts plus current occupancy."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe history)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreconditionerCache(size={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_DEFAULT_CACHE = PreconditionerCache()
+
+
+def default_cache() -> PreconditionerCache:
+    """The module-level cache :func:`cached_setup` uses by default."""
+    return _DEFAULT_CACHE
+
+
+def cached_setup(
+    a: CSRMatrix,
+    *,
+    method: str = "fsai",
+    cache: Optional[PreconditionerCache] = None,
+    **kwargs: Any,
+) -> Any:
+    """FSAI setup through the cache: build once per (matrix, method, kwargs).
+
+    ``method`` names one of the end-to-end setups in
+    :mod:`repro.fsai.extended` (``"fsai"``, ``"fsaie_sp"``,
+    ``"fsaie_full"``, ``"fsaie_joint"``, ``"fsaie_random"``); ``kwargs``
+    are forwarded to it verbatim and participate in the cache key.
+    """
+    from repro.fsai import extended
+
+    builders: Dict[str, Callable[..., Any]] = {
+        "fsai": extended.setup_fsai,
+        "fsaie_sp": extended.setup_fsaie_sp,
+        "fsaie_full": extended.setup_fsaie_full,
+        "fsaie_joint": extended.setup_fsaie_joint,
+        "fsaie_random": extended.setup_fsaie_random,
+    }
+    if method not in builders:
+        raise ValueError(
+            f"unknown FSAI setup method {method!r}; "
+            f"expected one of {sorted(builders)}"
+        )
+    target = cache if cache is not None else _DEFAULT_CACHE
+    return target.get_or_build(
+        a, lambda: builders[method](a, **kwargs), method=method, config=kwargs,
+    )

@@ -65,6 +65,12 @@ class FSAIApplication:
         # re-dispatching the format per apply is pure overhead).
         # Construct a fresh application to pick up a backend switch.
         self._apply_op = None
+        # Blocked-apply handle plus the block width it was bound for; the
+        # multi-RHS solver shrinks its block when columns converge, so the
+        # handle (and its (n, k)/(nnz, k) workspaces) rebinds on width
+        # change — rare (a handful of compactions per solve) by design.
+        self._multi_op = None
+        self._multi_k = 0
 
     @property
     def gt(self) -> CSRMatrix:
@@ -104,6 +110,37 @@ class FSAIApplication:
         # Differently-shaped explicit transpose: two row-order SpMVs.
         g_op = backend.spmv_op(self.g, scratch[: self.g.nnz])
         gt_op = backend.spmv_op(self.gt, scratch[: self.gt.nnz])
+
+        def op(r: FloatArray, out: FloatArray) -> FloatArray:
+            g_op(r, tmp)
+            return gt_op(tmp, out)
+
+        return op
+
+    def apply_multi(self, r: FloatArray) -> FloatArray:
+        """Blocked ``Z = G^T (G R)`` over an ``(n, k)`` residual block."""
+        return self.apply_multi_into(r, np.empty(r.shape))
+
+    def apply_multi_into(self, r: FloatArray, out: FloatArray) -> FloatArray:
+        """As :meth:`apply_multi`, writing into the caller's ``(n, k)`` block."""
+        if r.ndim != 2 or r.shape[0] != self.n:
+            raise ShapeError(f"expected (n, k) block with n={self.n}")
+        op = self._multi_op
+        if op is None or self._multi_k != r.shape[1]:
+            op = self._multi_op = self._bind_apply_multi(r.shape[1])
+            self._multi_k = r.shape[1]
+        return op(r, out)
+
+    def _bind_apply_multi(self, k: int):
+        """Bind the blocked-apply handle (and its workspaces) for width ``k``."""
+        backend = get_backend()
+        tmp = np.empty((self.n, k))
+        if not self._gt_explicit:
+            scratch = np.empty((self.g.nnz, k))
+            return backend.fsai_apply_multi_op(self.g, tmp, scratch)
+        # Differently-shaped explicit transpose: two row-order SpMMs.
+        g_op = backend.spmm_op(self.g, np.empty((self.g.nnz, k)))
+        gt_op = backend.spmm_op(self.gt, np.empty((self.gt.nnz, k)))
 
         def op(r: FloatArray, out: FloatArray) -> FloatArray:
             g_op(r, tmp)

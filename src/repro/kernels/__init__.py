@@ -24,7 +24,7 @@ See ``docs/kernels.md`` for the workspace contract and selection rules.
 """
 
 from repro.kernels import numba_backend
-from repro.kernels.base import KernelBackend
+from repro.kernels.base import KernelBackend, KernelInputWarning
 from repro.kernels.numpy_backend import NumpyBackend
 from repro.kernels.reference import ReferenceBackend
 from repro.kernels.registry import (
@@ -40,6 +40,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "ENV_VAR",
     "KernelBackend",
+    "KernelInputWarning",
     "NumpyBackend",
     "ReferenceBackend",
     "available_backends",

@@ -3,9 +3,12 @@
 The paper's wall-time analysis (§2) shows PCG time is dominated by two
 memory-bound kernels — the SpMV with ``A`` and the FSAI application
 ``z = G^T (G r)`` — so those, plus the PCG vector updates, are the
-operations a backend must provide.  Everything else in the library stays
-backend-agnostic and calls these primitives through the registry
-(:func:`repro.kernels.get_backend`).
+operations a backend must provide.  Serving many right-hand sides
+against one operator adds their blocked twins: the SpMM ``A @ X`` over
+an ``(n, k)`` block and the fused multi-vector FSAI application, which
+amortise one traversal of the sparse index stream across ``k`` vectors.
+Everything else in the library stays backend-agnostic and calls these
+primitives through the registry (:func:`repro.kernels.get_backend`).
 
 Operand contract
 ----------------
@@ -16,23 +19,36 @@ Sparse operands are duck-typed CSR objects (in practice
 mutate operands; any auxiliary structure they need is cached on the
 matrix so repeated calls (the CG loop) pay for it once.
 
+Dense operands (``x``, the block ``X``, ``r``/``R``) are validated at
+every public entry point: a non-float64 input is upcast to float64 with
+a :class:`KernelInputWarning` (a silent float32 operand would otherwise
+crash deep inside a workspace kernel, or quietly degrade precision), and
+a non-contiguous input is compacted silently.  ``out`` buffers are the
+caller's result storage and cannot be coerced — a wrong dtype or shape
+raises immediately.  The *bound handles* (``spmv_op`` and friends) skip
+this validation by contract: they are built once per solve for loops
+that own their buffers.
+
 Workspace contract
 ------------------
 Every primitive accepts optional caller-owned buffers and allocates only
 when they are omitted:
 
 ``out``
-    Result vector (``n_rows`` for :meth:`spmv`, ``n_cols`` for
-    :meth:`spmv_t`, ``n`` for :meth:`fsai_apply`).  Always returned, so
-    call sites read uniformly whether they preallocated or not.
+    Result buffer (``n_rows`` for :meth:`spmv`, ``n_cols`` for
+    :meth:`spmv_t`, ``n`` for :meth:`fsai_apply`; the blocked variants
+    take the ``(·, k)`` analogues).  Always returned, so call sites read
+    uniformly whether they preallocated or not.
 ``scratch``
-    ``nnz``-length float buffer for the gather product
-    ``data * x[...]``.  The NumPy backends leave the (structure-ordered)
-    products behind in it; other backends may ignore it entirely — its
-    contents are backend-specific, only its role is contractual.
+    ``nnz``-length float buffer (``(nnz, k)`` for the blocked kernels)
+    for the gather product ``data * x[...]``.  The NumPy backends leave
+    the (structure-ordered) products behind in it; other backends may
+    ignore it entirely — its contents are backend-specific, only its
+    role is contractual.  Backends that fall back to the column-loop
+    defaults for the blocked kernels ignore ``scratch`` there.
 ``tmp``
-    ``n``-length float buffer holding the intermediate ``t = G r`` of the
-    fused FSAI application.
+    ``n``-length (``(n, k)`` for :meth:`fsai_apply_multi`) float buffer
+    holding the intermediate ``t = G r`` of the fused FSAI application.
 ``work``
     ``n``-length float buffer for :meth:`pcg_step`'s AXPY temporaries.
 
@@ -45,44 +61,110 @@ take it).  See ``docs/kernels.md`` for the full rationale.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["KernelBackend"]
+__all__ = ["KernelBackend", "KernelInputWarning", "coerce_operand"]
+
+
+class KernelInputWarning(UserWarning):
+    """A kernel operand needed upcasting to float64 at the boundary."""
+
+
+def coerce_operand(
+    x: Any, *, name: str = "x", ndim: Optional[int] = None,
+) -> np.ndarray:
+    """Validate a dense kernel input: float64, C-contiguous, right rank.
+
+    Non-float64 inputs (float32 data files, integer RHS from tests) are
+    upcast with a :class:`KernelInputWarning`; non-contiguous float64
+    inputs (column slices of a block) are compacted silently — only the
+    gather path's speed is at stake there, never correctness.
+    """
+    arr = np.asarray(x)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(
+            f"kernel operand {name!r} must be {ndim}-D, got shape {arr.shape}"
+        )
+    if arr.dtype != np.float64:
+        warnings.warn(
+            f"kernel operand {name!r} has dtype {arr.dtype}; upcasting to "
+            "float64 (supply float64 data to avoid the copy)",
+            KernelInputWarning,
+            stacklevel=3,
+        )
+        return np.ascontiguousarray(arr, dtype=np.float64)
+    if not arr.flags.c_contiguous:
+        return np.ascontiguousarray(arr)
+    return arr
+
+
+def _prepare_out(
+    out: Optional[np.ndarray], shape: Tuple[int, ...], *, name: str = "out",
+) -> np.ndarray:
+    """Allocate ``out`` when omitted; reject unusable caller buffers.
+
+    ``out`` is where the caller will read the result, so unlike inputs it
+    cannot be coerced — a silent copy would leave the caller's buffer
+    stale.  Wrong dtype or shape therefore raises.
+    """
+    if out is None:
+        return np.empty(shape)
+    if out.dtype != np.float64:
+        raise TypeError(
+            f"{name} buffer must be float64, got {out.dtype} "
+            "(kernels write results in place; a cast copy would be lost)"
+        )
+    if out.shape != shape:
+        raise ValueError(f"{name} has shape {out.shape}, expected {shape}")
+    return out
 
 
 class KernelBackend(ABC):
-    """Abstract kernel backend: SpMV / FSAI-apply / PCG-update primitives.
+    """Abstract kernel backend: SpMV / SpMM / FSAI-apply / PCG primitives.
 
     Implementations must be numerically equivalent — the property suite
     (``tests/kernels``) holds every registered backend to the dense
     reference within ``1e-13`` — but are free to differ in summation
     strategy, parallelism and workspace use.
+
+    The public entry points (:meth:`spmv`, :meth:`spmm`, …) validate
+    operands and allocate missing ``out`` buffers, then delegate to the
+    ``_``-prefixed hooks backends actually implement.  The blocked
+    kernels (:meth:`spmm`, :meth:`spmm_t`, :meth:`fsai_apply_multi`)
+    default to a column loop over the single-vector hooks, so a minimal
+    backend — including the reference oracle — is automatically
+    multi-RHS-correct with the exact per-column summation order of its
+    single-vector kernels.
     """
 
     #: Registry name; also stamped on trace spans (``backend=...``).
     name: str = "abstract"
 
     # ------------------------------------------------------------------
-    # Sparse kernels
+    # Sparse kernels — public validated entry points
     # ------------------------------------------------------------------
-    @abstractmethod
     def spmv(
         self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
         *, scratch: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """``out = A @ x`` over a CSR operand."""
+        x = coerce_operand(x, name="x", ndim=1)
+        out = _prepare_out(out, (a.n_rows,))
+        return self._spmv(a, x, out, scratch)
 
-    @abstractmethod
     def spmv_t(
         self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
         *, scratch: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """``out = A.T @ x`` without materialising the transpose."""
+        x = coerce_operand(x, name="x", ndim=1)
+        out = _prepare_out(out, (a.n_cols,))
+        return self._spmv_t(a, x, out, scratch)
 
-    @abstractmethod
     def fsai_apply(
         self, g: Any, r: np.ndarray, out: Optional[np.ndarray] = None,
         *, tmp: Optional[np.ndarray] = None,
@@ -94,6 +176,87 @@ class KernelBackend(ABC):
         allocation when supplied), and the second product scatters through
         the same stored factor — no explicit ``G^T`` matrix is required.
         """
+        r = coerce_operand(r, name="r", ndim=1)
+        out = _prepare_out(out, (g.n_rows,))
+        return self._fsai_apply(g, r, out, tmp, scratch)
+
+    def spmm(
+        self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
+        *, scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``out = A @ X`` over an ``(n_cols, k)`` block of vectors.
+
+        One traversal of ``A``'s index stream serves all ``k`` columns —
+        the multi-RHS amortisation the blocked PCG is built on.
+        ``scratch``, when a backend uses it, is ``(nnz, k)``.
+        """
+        x = coerce_operand(x, name="X", ndim=2)
+        out = _prepare_out(out, (a.n_rows, x.shape[1]))
+        return self._spmm(a, x, out, scratch)
+
+    def spmm_t(
+        self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
+        *, scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``out = A.T @ X`` over an ``(n_rows, k)`` block."""
+        x = coerce_operand(x, name="X", ndim=2)
+        out = _prepare_out(out, (a.n_cols, x.shape[1]))
+        return self._spmm_t(a, x, out, scratch)
+
+    def fsai_apply_multi(
+        self, g: Any, r: np.ndarray, out: Optional[np.ndarray] = None,
+        *, tmp: Optional[np.ndarray] = None,
+        scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Fused ``out = G^T (G R)`` over an ``(n, k)`` residual block.
+
+        The blocked twin of :meth:`fsai_apply`; ``tmp`` holds the
+        ``(n, k)`` intermediate ``T = G R``.
+        """
+        r = coerce_operand(r, name="R", ndim=2)
+        out = _prepare_out(out, (g.n_rows, r.shape[1]))
+        return self._fsai_apply_multi(g, r, out, tmp, scratch)
+
+    # ------------------------------------------------------------------
+    # Implementation hooks (operands pre-validated, ``out`` allocated)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _spmv(self, a, x, out, scratch) -> np.ndarray: ...
+
+    @abstractmethod
+    def _spmv_t(self, a, x, out, scratch) -> np.ndarray: ...
+
+    @abstractmethod
+    def _fsai_apply(self, g, r, out, tmp, scratch) -> np.ndarray: ...
+
+    def _spmm(self, a, x, out, scratch) -> np.ndarray:
+        # Default: one contiguous column at a time through the
+        # single-vector kernel — per-column summation order is then
+        # *identical* to spmv, which is what makes this the oracle the
+        # vectorized backends are tested against.
+        xcol = np.empty(x.shape[0])
+        ycol = np.empty(out.shape[0])
+        for j in range(x.shape[1]):
+            np.copyto(xcol, x[:, j])
+            self._spmv(a, xcol, ycol, None)
+            out[:, j] = ycol
+        return out
+
+    def _spmm_t(self, a, x, out, scratch) -> np.ndarray:
+        xcol = np.empty(x.shape[0])
+        ycol = np.empty(out.shape[0])
+        for j in range(x.shape[1]):
+            np.copyto(xcol, x[:, j])
+            self._spmv_t(a, xcol, ycol, None)
+            out[:, j] = ycol
+        return out
+
+    def _fsai_apply_multi(self, g, r, out, tmp, scratch) -> np.ndarray:
+        k = r.shape[1]
+        if tmp is None or tmp.shape != (g.n_rows, k):
+            tmp = np.empty((g.n_rows, k))
+        self._spmm(g, r, tmp, scratch)
+        return self._spmm_t(g, tmp, out, scratch)
 
     # ------------------------------------------------------------------
     # Bound kernel handles (OSKI-style tuned operators)
@@ -104,10 +267,12 @@ class KernelBackend(ABC):
         Solver loops multiply by the *same* matrix thousands of times;
         a bound handle lets a backend resolve the per-matrix strategy
         (format selection, cached views, workspaces) once instead of on
-        every call.  The default just closes over :meth:`spmv`.
+        every call.  Bound handles skip per-call operand validation — the
+        solver validated its buffers when it allocated them.  The default
+        just closes over :meth:`_spmv`.
         """
         def op(x: np.ndarray, out: np.ndarray) -> np.ndarray:
-            return self.spmv(a, x, out=out, scratch=scratch)
+            return self._spmv(a, x, out, scratch)
         return op
 
     def fsai_apply_op(self, g: Any, tmp: np.ndarray,
@@ -118,7 +283,29 @@ class KernelBackend(ABC):
         application — the other half of every PCG iteration's cost.
         """
         def op(r: np.ndarray, out: np.ndarray) -> np.ndarray:
-            return self.fsai_apply(g, r, out=out, tmp=tmp, scratch=scratch)
+            return self._fsai_apply(g, r, out, tmp, scratch)
+        return op
+
+    def spmm_op(self, a: Any, scratch: Optional[np.ndarray] = None):
+        """Return ``op(X, out) -> out`` for repeated block products.
+
+        The blocked twin of :meth:`spmv_op`: the multi-RHS PCG binds one
+        handle per solve, so each iteration's SpMM is a single call with
+        the format dispatch already resolved.  ``scratch`` is the
+        ``(nnz, k)`` gather workspace for backends that use one.
+        """
+        def op(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+            return self._spmm(a, x, out, scratch)
+        return op
+
+    def fsai_apply_multi_op(self, g: Any, tmp: np.ndarray,
+                            scratch: Optional[np.ndarray] = None):
+        """Return ``op(R, out) -> out`` for the blocked FSAI application.
+
+        ``tmp`` is the caller-owned ``(n, k)`` intermediate block.
+        """
+        def op(r: np.ndarray, out: np.ndarray) -> np.ndarray:
+            return self._fsai_apply_multi(g, r, out, tmp, scratch)
         return op
 
     # ------------------------------------------------------------------

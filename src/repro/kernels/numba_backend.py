@@ -10,8 +10,11 @@ CSR: the SpMV and the first half of the fused FSAI application distribute
 rows across threads (each row's dot product is independent); the
 transpose scatter stays sequential (scatter-add races under ``prange``),
 which matches the paper's observation that the ``G^T`` product is the
-bandwidth-bound half.  Functions compile lazily on first call; the first
-invocation therefore pays JIT cost, every later call runs native code.
+bandwidth-bound half.  The blocked kernels keep the same decomposition
+with an inner loop over the ``k`` block columns, so each sparse entry is
+read once and applied to all right-hand sides while it sits in register.
+Functions compile lazily on first call; the first invocation therefore
+pays JIT cost, every later call runs native code.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ except ImportError:  # pragma: no cover - the tier-1 environment has no numba
 if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
 
     @njit(parallel=True)
-    def _spmv(indptr, indices, data, x, out):
+    def _spmv_kernel(indptr, indices, data, x, out):
         for i in prange(len(indptr) - 1):
             acc = 0.0
             for k in range(indptr[i], indptr[i + 1]):
@@ -42,7 +45,7 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
             out[i] = acc
 
     @njit
-    def _spmv_t(indptr, indices, data, x, out):
+    def _spmv_t_kernel(indptr, indices, data, x, out):
         out[:] = 0.0
         for i in range(len(indptr) - 1):
             xi = x[i]
@@ -50,7 +53,7 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
                 out[indices[k]] += data[k] * xi
 
     @njit(parallel=True)
-    def _fsai_apply(indptr, indices, data, r, out, tmp):
+    def _fsai_apply_kernel(indptr, indices, data, r, out, tmp):
         n = len(indptr) - 1
         for i in prange(n):
             acc = 0.0
@@ -64,7 +67,50 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
                 out[indices[k]] += data[k] * ti
 
     @njit(parallel=True)
-    def _pcg_step(alpha, x, d, r, q):
+    def _spmm_kernel(indptr, indices, data, x, out):
+        width = x.shape[1]
+        for i in prange(len(indptr) - 1):
+            for j in range(width):
+                out[i, j] = 0.0
+            for k in range(indptr[i], indptr[i + 1]):
+                v = data[k]
+                col = indices[k]
+                for j in range(width):
+                    out[i, j] += v * x[col, j]
+
+    @njit
+    def _spmm_t_kernel(indptr, indices, data, x, out):
+        width = x.shape[1]
+        out[:] = 0.0
+        for i in range(len(indptr) - 1):
+            for k in range(indptr[i], indptr[i + 1]):
+                v = data[k]
+                col = indices[k]
+                for j in range(width):
+                    out[col, j] += v * x[i, j]
+
+    @njit(parallel=True)
+    def _fsai_apply_multi_kernel(indptr, indices, data, r, out, tmp):
+        n = len(indptr) - 1
+        width = r.shape[1]
+        for i in prange(n):
+            for j in range(width):
+                tmp[i, j] = 0.0
+            for k in range(indptr[i], indptr[i + 1]):
+                v = data[k]
+                col = indices[k]
+                for j in range(width):
+                    tmp[i, j] += v * r[col, j]
+        out[:] = 0.0
+        for i in range(n):
+            for k in range(indptr[i], indptr[i + 1]):
+                v = data[k]
+                col = indices[k]
+                for j in range(width):
+                    out[col, j] += v * tmp[i, j]
+
+    @njit(parallel=True)
+    def _pcg_step_kernel(alpha, x, d, r, q):
         acc = 0.0
         for i in prange(len(x)):
             x[i] += alpha * d[i]
@@ -74,12 +120,12 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
         return acc
 
     @njit(parallel=True)
-    def _pcg_direction(beta, d, z):
+    def _pcg_direction_kernel(beta, d, z):
         for i in prange(len(d)):
             d[i] = z[i] + beta * d[i]
 
     @njit(parallel=True)
-    def _stacked_matvec(a_stack, d_stack, out):
+    def _stacked_matvec_kernel(a_stack, d_stack, out):
         m, k = d_stack.shape
         for i in prange(m):
             for row in range(k):
@@ -93,51 +139,63 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
 
         name = "numba"
 
-        def spmv(self, a: Any, x: np.ndarray,
-                 out: Optional[np.ndarray] = None,
-                 *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
-            if out is None:
-                out = np.empty(a.n_rows)
-            _spmv(a.indptr, a.indices, a.data,
-                  np.ascontiguousarray(x), out)
+        def _spmv(self, a: Any, x: np.ndarray, out: np.ndarray,
+                  scratch: Optional[np.ndarray]) -> np.ndarray:
+            _spmv_kernel(a.indptr, a.indices, a.data,
+                         np.ascontiguousarray(x), out)
             return out
 
-        def spmv_t(self, a: Any, x: np.ndarray,
-                   out: Optional[np.ndarray] = None,
-                   *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
-            if out is None:
-                out = np.empty(a.n_cols)
-            _spmv_t(a.indptr, a.indices, a.data,
-                    np.ascontiguousarray(x), out)
+        def _spmv_t(self, a: Any, x: np.ndarray, out: np.ndarray,
+                    scratch: Optional[np.ndarray]) -> np.ndarray:
+            _spmv_t_kernel(a.indptr, a.indices, a.data,
+                           np.ascontiguousarray(x), out)
             return out
 
-        def fsai_apply(self, g: Any, r: np.ndarray,
-                       out: Optional[np.ndarray] = None,
-                       *, tmp: Optional[np.ndarray] = None,
-                       scratch: Optional[np.ndarray] = None) -> np.ndarray:
-            if out is None:
-                out = np.empty(g.n_rows)
+        def _fsai_apply(self, g: Any, r: np.ndarray, out: np.ndarray,
+                        tmp: Optional[np.ndarray],
+                        scratch: Optional[np.ndarray]) -> np.ndarray:
             if tmp is None:
                 tmp = np.empty(g.n_rows)
-            _fsai_apply(g.indptr, g.indices, g.data,
-                        np.ascontiguousarray(r), out, tmp)
+            _fsai_apply_kernel(g.indptr, g.indices, g.data,
+                               np.ascontiguousarray(r), out, tmp)
+            return out
+
+        def _spmm(self, a: Any, x: np.ndarray, out: np.ndarray,
+                  scratch: Optional[np.ndarray]) -> np.ndarray:
+            _spmm_kernel(a.indptr, a.indices, a.data,
+                         np.ascontiguousarray(x), out)
+            return out
+
+        def _spmm_t(self, a: Any, x: np.ndarray, out: np.ndarray,
+                    scratch: Optional[np.ndarray]) -> np.ndarray:
+            _spmm_t_kernel(a.indptr, a.indices, a.data,
+                           np.ascontiguousarray(x), out)
+            return out
+
+        def _fsai_apply_multi(self, g: Any, r: np.ndarray, out: np.ndarray,
+                              tmp: Optional[np.ndarray],
+                              scratch: Optional[np.ndarray]) -> np.ndarray:
+            if tmp is None or tmp.shape != (g.n_rows, r.shape[1]):
+                tmp = np.empty((g.n_rows, r.shape[1]))
+            _fsai_apply_multi_kernel(g.indptr, g.indices, g.data,
+                                     np.ascontiguousarray(r), out, tmp)
             return out
 
         def pcg_step(self, alpha: float, x: np.ndarray, d: np.ndarray,
                      r: np.ndarray, q: np.ndarray,
                      work: Optional[np.ndarray] = None) -> float:
-            return float(_pcg_step(alpha, x, d, r, q))
+            return float(_pcg_step_kernel(alpha, x, d, r, q))
 
         def pcg_direction(self, beta: float, d: np.ndarray,
                           z: np.ndarray) -> None:
-            _pcg_direction(beta, d, z)
+            _pcg_direction_kernel(beta, d, z)
 
         def stacked_matvec(self, a_stack: np.ndarray, d_stack: np.ndarray,
                            out: Optional[np.ndarray] = None) -> np.ndarray:
             if out is None:
                 out = np.empty_like(d_stack)
-            _stacked_matvec(np.ascontiguousarray(a_stack),
-                            np.ascontiguousarray(d_stack), out)
+            _stacked_matvec_kernel(np.ascontiguousarray(a_stack),
+                                   np.ascontiguousarray(d_stack), out)
             return out
 
 

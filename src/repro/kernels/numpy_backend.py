@@ -38,10 +38,20 @@ agree bit for bit there.  The ELL row-dot may reassociate long-row sums
 (pairwise partial sums), which is why backend agreement is asserted to
 1e-13 rather than bitwise on ELL/HYB-sized matrices.
 
+The blocked kernels (``_spmm``/``_spmm_t``/``_fsai_apply_multi``)
+generalize each strategy to an ``(n, k)`` operand block: the DIA window
+selection, the ELL gather, and the ``reduceat`` segment sum all move to
+``axis=0`` with the column axis riding along, so one traversal of the
+sparse structure serves all ``k`` right-hand sides.  Per column the
+summation order is unchanged from the single-vector kernels — the
+multi-RHS agreement tests hold every blocked path to the column-looped
+oracle at the same tolerances as above.
+
 Beyond the per-call kernels, the backend overrides the bound-handle
-constructors (:meth:`spmv_op` / :meth:`fsai_apply_op`): format dispatch
-and view lookup happen once when the handle is built, so the CG loop's
-per-iteration product is a direct call into the resolved view.
+constructors (:meth:`spmv_op` / :meth:`fsai_apply_op` and their blocked
+twins): format dispatch and view lookup happen once when the handle is
+built, so the CG loop's per-iteration product is a direct call into the
+resolved view.
 """
 
 from __future__ import annotations
@@ -57,15 +67,30 @@ from repro.kernels.reference import _gather_product
 __all__ = ["NumpyBackend"]
 
 
+def _gather_product_block(
+    data: np.ndarray, x: np.ndarray, gather_ids: np.ndarray,
+    scratch: Optional[np.ndarray],
+) -> np.ndarray:
+    """``data[:, None] * x[gather_ids]`` over an ``(n, k)`` block.
+
+    The blocked twin of :func:`repro.kernels.reference._gather_product`;
+    ``scratch`` is ``(nnz, k)`` and eliminates the per-call product
+    allocation when supplied.
+    """
+    if scratch is None or scratch.shape != (len(gather_ids), x.shape[1]):
+        return data[:, None] * x[gather_ids]
+    np.take(x, gather_ids, axis=0, out=scratch)
+    scratch *= data[:, None]
+    return scratch
+
+
 class NumpyBackend(KernelBackend):
     """Workspace-aware ``np.add.reduceat`` kernels (default backend)."""
 
     name = "numpy"
 
-    def spmv(self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
-             *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
-        if out is None:
-            out = np.empty(a.n_rows)
+    def _spmv(self, a: Any, x: np.ndarray, out: np.ndarray,
+              scratch: Optional[np.ndarray]) -> np.ndarray:
         if len(a.data) == 0:
             out[:] = 0.0
             return out
@@ -85,10 +110,8 @@ class NumpyBackend(KernelBackend):
             out[rows] = np.add.reduceat(prod, starts)
         return out
 
-    def spmv_t(self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
-               *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
-        if out is None:
-            out = np.empty(a.n_cols)
+    def _spmv_t(self, a: Any, x: np.ndarray, out: np.ndarray,
+                scratch: Optional[np.ndarray]) -> np.ndarray:
         if len(a.data) == 0:
             out[:] = 0.0
             return out
@@ -108,6 +131,52 @@ class NumpyBackend(KernelBackend):
             out[seg.cols] = np.add.reduceat(prod, seg.starts)
         return out
 
+    def _spmm(self, a: Any, x: np.ndarray, out: np.ndarray,
+              scratch: Optional[np.ndarray]) -> np.ndarray:
+        if len(a.data) == 0:
+            out[:] = 0.0
+            return out
+        dia = a.dia_view()
+        if dia is not None:  # stencil: one windowed einsum for all k columns
+            return dia.apply_multi(x, out)
+        ell = a.ell_view()
+        if ell is not None:  # (n, w, k) gather + one batched row-dot
+            _einsum(
+                "nw,nwk->nk", ell.data, x.take(ell.gather_ids, axis=0), out=out
+            )
+            return out
+        prod = _gather_product_block(a.data, x, a.indices, scratch)
+        starts, rows = a.row_segments()
+        if rows is None:
+            np.add.reduceat(prod, starts, axis=0, out=out)
+        else:
+            out[:] = 0.0
+            out[rows] = np.add.reduceat(prod, starts, axis=0)
+        return out
+
+    def _spmm_t(self, a: Any, x: np.ndarray, out: np.ndarray,
+                scratch: Optional[np.ndarray]) -> np.ndarray:
+        if len(a.data) == 0:
+            out[:] = 0.0
+            return out
+        dia = a.dia_t_view()
+        if dia is not None:
+            return dia.apply_multi(x, out)
+        ell = a.ell_t_view()
+        if ell is not None:
+            _einsum(
+                "nw,nwk->nk", ell.data, x.take(ell.gather_ids, axis=0), out=out
+            )
+            return out
+        seg = a.col_segments()
+        prod = _gather_product_block(seg.data, x, seg.rows, scratch)
+        if seg.cols is None:
+            np.add.reduceat(prod, seg.starts, axis=0, out=out)
+        else:
+            out[:] = 0.0
+            out[seg.cols] = np.add.reduceat(prod, seg.starts, axis=0)
+        return out
+
     def spmv_op(self, a: Any, scratch: Optional[np.ndarray] = None):
         # Resolve the format once: repeated products (the CG loop) then
         # jump straight into the bound view with zero dispatch overhead.
@@ -115,6 +184,12 @@ class NumpyBackend(KernelBackend):
         if dia is not None:
             return dia.apply
         return super().spmv_op(a, scratch)
+
+    def spmm_op(self, a: Any, scratch: Optional[np.ndarray] = None):
+        dia = a.dia_view()
+        if dia is not None:
+            return dia.apply_multi
+        return super().spmm_op(a, scratch)
 
     def fsai_apply_op(self, g: Any, tmp: np.ndarray,
                       scratch: Optional[np.ndarray] = None):
@@ -126,17 +201,34 @@ class NumpyBackend(KernelBackend):
             return op
         return super().fsai_apply_op(g, tmp, scratch)
 
-    def fsai_apply(self, g: Any, r: np.ndarray,
-                   out: Optional[np.ndarray] = None,
-                   *, tmp: Optional[np.ndarray] = None,
-                   scratch: Optional[np.ndarray] = None) -> np.ndarray:
+    def fsai_apply_multi_op(self, g: Any, tmp: np.ndarray,
+                            scratch: Optional[np.ndarray] = None):
+        dia, dia_t = g.dia_view(), g.dia_t_view()
+        if dia is not None and dia_t is not None:
+            def op(r: np.ndarray, out: np.ndarray) -> np.ndarray:
+                dia.apply_multi(r, tmp)
+                return dia_t.apply_multi(tmp, out)
+            return op
+        return super().fsai_apply_multi_op(g, tmp, scratch)
+
+    def _fsai_apply(self, g: Any, r: np.ndarray, out: np.ndarray,
+                    tmp: Optional[np.ndarray],
+                    scratch: Optional[np.ndarray]) -> np.ndarray:
         # One pass over G's structure per product, intermediate in ``tmp``,
         # gather products recycled through the single ``scratch`` buffer —
         # zero allocations when the workspaces are supplied.
         if tmp is None:
             tmp = np.empty(g.n_rows)
-        t = self.spmv(g, r, out=tmp, scratch=scratch)
-        return self.spmv_t(g, t, out=out, scratch=scratch)
+        self._spmv(g, r, tmp, scratch)
+        return self._spmv_t(g, tmp, out, scratch)
+
+    def _fsai_apply_multi(self, g: Any, r: np.ndarray, out: np.ndarray,
+                          tmp: Optional[np.ndarray],
+                          scratch: Optional[np.ndarray]) -> np.ndarray:
+        if tmp is None or tmp.shape != (g.n_rows, r.shape[1]):
+            tmp = np.empty((g.n_rows, r.shape[1]))
+        self._spmm(g, r, tmp, scratch)
+        return self._spmm_t(g, tmp, out, scratch)
 
     def pcg_step(self, alpha: float, x: np.ndarray, d: np.ndarray,
                  r: np.ndarray, q: np.ndarray,

@@ -35,30 +35,31 @@ class ReferenceBackend(KernelBackend):
 
     name = "reference"
 
-    def spmv(self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
-             *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
+    def _spmv(self, a: Any, x: np.ndarray, out: np.ndarray,
+              scratch: Optional[np.ndarray]) -> np.ndarray:
         prod = _gather_product(a.data, x, a.indices, scratch)
-        y = np.bincount(a.row_ids(), weights=prod, minlength=a.n_rows)
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        out[:] = np.bincount(a.row_ids(), weights=prod, minlength=a.n_rows)
+        return out
 
-    def spmv_t(self, a: Any, x: np.ndarray, out: Optional[np.ndarray] = None,
-               *, scratch: Optional[np.ndarray] = None) -> np.ndarray:
+    def _spmv_t(self, a: Any, x: np.ndarray, out: np.ndarray,
+                scratch: Optional[np.ndarray]) -> np.ndarray:
         prod = _gather_product(a.data, x, a.row_ids(), scratch)
-        y = np.bincount(a.indices, weights=prod, minlength=a.n_cols)
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        out[:] = np.bincount(a.indices, weights=prod, minlength=a.n_cols)
+        return out
 
-    def fsai_apply(self, g: Any, r: np.ndarray,
-                   out: Optional[np.ndarray] = None,
-                   *, tmp: Optional[np.ndarray] = None,
-                   scratch: Optional[np.ndarray] = None) -> np.ndarray:
-        t = self.spmv(g, r, out=tmp, scratch=scratch)
-        return self.spmv_t(g, t, out=out, scratch=scratch)
+    def _fsai_apply(self, g: Any, r: np.ndarray, out: np.ndarray,
+                    tmp: Optional[np.ndarray],
+                    scratch: Optional[np.ndarray]) -> np.ndarray:
+        if tmp is None:
+            tmp = np.empty(g.n_rows)
+        self._spmv(g, r, tmp, scratch)
+        return self._spmv_t(g, tmp, out, scratch)
+
+    # The blocked kernels (_spmm / _spmm_t / _fsai_apply_multi) are
+    # deliberately the base class's column loop over the kernels above:
+    # per column the summation order is exactly the single-vector
+    # bincount order, which is what makes this backend the multi-RHS
+    # agreement oracle too.
 
     def pcg_step(self, alpha: float, x: np.ndarray, d: np.ndarray,
                  r: np.ndarray, q: np.ndarray,

@@ -12,8 +12,12 @@
   Jacobi) against which FSAI is sanity-checked.
 """
 
-from repro.solvers.convergence import ConvergenceHistory, SolveResult
-from repro.solvers.cg import cg, pcg
+from repro.solvers.convergence import (
+    ConvergenceHistory,
+    MultiSolveResult,
+    SolveResult,
+)
+from repro.solvers.cg import cg, pcg, pcg_multi
 from repro.solvers.direct import (
     cholesky_factor,
     solve_lower_triangular,
@@ -41,9 +45,11 @@ from repro.solvers.preconditioners import (
 
 __all__ = [
     "ConvergenceHistory",
+    "MultiSolveResult",
     "SolveResult",
     "cg",
     "pcg",
+    "pcg_multi",
     "cholesky_factor",
     "solve_lower_triangular",
     "solve_upper_triangular",

@@ -27,14 +27,19 @@ from typing import Optional
 import numpy as np
 
 from repro import trace
+from repro._einsum import _einsum
 from repro._typing import FloatArray
 from repro.errors import ShapeError
 from repro.kernels import get_backend
-from repro.solvers.convergence import ConvergenceHistory, SolveResult
+from repro.solvers.convergence import (
+    ConvergenceHistory,
+    MultiSolveResult,
+    SolveResult,
+)
 from repro.solvers.preconditioners import IdentityPreconditioner, Preconditioner
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["cg", "pcg"]
+__all__ = ["cg", "pcg", "pcg_multi"]
 
 #: Paper §7.1: experiments "do not converge after 10000 iterations" are
 #: excluded — we use the same default budget.
@@ -221,6 +226,259 @@ def _pcg(
         history=history,
         flops=flops,
     )
+
+
+def pcg_multi(
+    a: CSRMatrix,
+    b: FloatArray,
+    *,
+    preconditioner: Optional[Preconditioner] = None,
+    x0: Optional[FloatArray] = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = 0.0,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    record_history: bool = True,
+) -> MultiSolveResult:
+    """Solve ``A X = B`` for an ``(n, k)`` block of right-hand sides.
+
+    Runs ``k`` mathematically independent PCG recurrences in lockstep
+    with **per-column** ``alpha``/``beta``/convergence tests, so each
+    column follows exactly the iteration :func:`pcg` would have taken —
+    but every iteration makes one blocked SpMM and one blocked
+    preconditioner application, traversing the sparse index streams of
+    ``A``, ``G`` and ``G^T`` once for all ``k`` vectors instead of once
+    per vector.  That amortisation is the entire speedup; converged (or
+    broken-down) columns are frozen by a mask and compacted out of the
+    active block once fewer than half remain, so stragglers don't drag
+    finished columns' bandwidth along.
+
+    Parameters match :func:`pcg` with ``b`` (and optional ``x0``) shaped
+    ``(n, k)``; a 1-D ``b`` raises — use :func:`pcg` for a single vector.
+    Returns a :class:`~repro.solvers.convergence.MultiSolveResult` whose
+    ``columns`` are per-column :class:`SolveResult` objects matching the
+    single-RHS path (iterate, iteration count, residuals, optional
+    history, flop estimate).
+    """
+    if not trace.enabled():
+        return _pcg_multi(
+            a, b, preconditioner=preconditioner, x0=x0, rtol=rtol, atol=atol,
+            max_iterations=max_iterations, record_history=record_history,
+        )
+    b_arr = np.asarray(b)
+    with trace.span(
+        "solvers.cg_multi",
+        n=a.n_rows,
+        nnz=a.nnz,
+        k=int(b_arr.shape[1]) if b_arr.ndim == 2 else -1,
+        preconditioned=preconditioner is not None,
+        backend=get_backend().name,
+    ):
+        result = _pcg_multi(
+            a, b_arr, preconditioner=preconditioner, x0=x0, rtol=rtol,
+            atol=atol, max_iterations=max_iterations,
+            record_history=record_history,
+        )
+        trace.add_counter("cg.flops", result.flops)
+        trace.set_attr("converged", result.converged)
+    return result
+
+
+def _pcg_multi(
+    a: CSRMatrix,
+    b: FloatArray,
+    *,
+    preconditioner: Optional[Preconditioner],
+    x0: Optional[FloatArray],
+    rtol: float,
+    atol: float,
+    max_iterations: int,
+    record_history: bool,
+) -> MultiSolveResult:
+    if a.n_rows != a.n_cols:
+        raise ShapeError(f"CG needs a square matrix, got {a.shape}")
+    n = a.n_rows
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    if b.ndim == 1:
+        raise ShapeError(
+            "pcg_multi takes an (n, k) block of right-hand sides; "
+            "use pcg for a single vector"
+        )
+    if b.ndim != 2 or b.shape[0] != n:
+        raise ShapeError(f"B has shape {b.shape}, expected ({n}, k)")
+    k = b.shape[1]
+    if rtol < 0 or atol < 0:
+        raise ValueError("tolerances must be non-negative")
+    M = preconditioner if preconditioner is not None else IdentityPreconditioner(n)
+    backend = get_backend()
+
+    # Master solution block; x0 is copied (never aliased), matching pcg.
+    x_full = np.zeros((n, k)) if x0 is None else np.array(x0, dtype=np.float64)
+    if x_full.shape != (n, k):
+        raise ShapeError(f"x0 has shape {x_full.shape}, expected ({n}, {k})")
+    if not x_full.flags.c_contiguous:
+        x_full = np.ascontiguousarray(x_full)
+
+    spmv_flops = 2 * a.nnz
+    precond_flops = M.flops_per_application()
+    flops = np.zeros(k, dtype=np.int64)
+
+    # R0 = B - A X0 (skip the SpMM when X0 = 0), one blocked product.
+    r_full = np.empty((n, k))
+    if x0 is None or not np.any(x_full):
+        np.copyto(r_full, b)
+    else:
+        backend.spmm(a, x_full, r_full)
+        np.subtract(b, r_full, out=r_full)
+        flops += spmv_flops + n
+
+    histories = [
+        ConvergenceHistory() if record_history else None for _ in range(k)
+    ]
+    r_norm0 = np.sqrt(_einsum("ij,ij->j", r_full, r_full))
+    for j in range(k):
+        if histories[j] is not None:
+            histories[j].record(float(r_norm0[j]))
+    thresholds = np.maximum(rtol * r_norm0, atol)
+    converged = r_norm0 <= thresholds  # columns done before iterating
+    iterations = np.zeros(k, dtype=np.int64)
+    r_norm_final = r_norm0.copy()
+
+    # Blocked preconditioner application: the shipped preconditioners all
+    # expose apply_multi_into; anything else falls back to a column loop
+    # through contiguous per-column buffers.
+    apply_multi = getattr(M, "apply_multi_into", None)
+    apply_single = getattr(M, "apply_into", None)
+    if apply_multi is None:
+        col_r = np.empty(n)
+
+        def apply_multi(r_block: np.ndarray, z_block: np.ndarray) -> np.ndarray:
+            for j in range(r_block.shape[1]):
+                np.copyto(col_r, r_block[:, j])
+                if apply_single is not None:
+                    z_block[:, j] = apply_single(col_r, np.empty(n))
+                else:
+                    z_block[:, j] = M.apply(col_r)
+            return z_block
+
+    cols = np.flatnonzero(~converged)  # original ids of the block's columns
+    if k == 0 or len(cols) == 0:
+        return _multi_result(
+            x_full, converged, iterations, r_norm_final, r_norm0, histories,
+            flops,
+        )
+
+    # The active block's entire working set, reallocated only at the rare
+    # compaction points: five (n, kb) blocks plus the (nnz, kb) SpMM
+    # gather scratch.  Every per-iteration statement updates these in
+    # place; the only steady-state allocations are O(kb) coefficient
+    # vectors.
+    kb = len(cols)
+    x_b = np.ascontiguousarray(x_full[:, cols])
+    r_b = np.ascontiguousarray(r_full[:, cols])
+    z_b = np.empty((n, kb))
+    q_b = np.empty((n, kb))
+    work_b = np.empty((n, kb))
+    spmm_op = backend.spmm_op(a, np.empty((a.nnz, kb)))
+
+    apply_multi(r_b, z_b)
+    flops[cols] += precond_flops
+    d_b = z_b.copy()
+    rho = _einsum("ij,ij->j", r_b, z_b)
+    flops[cols] += 2 * n
+    active = np.ones(kb, dtype=bool)
+
+    for it in range(1, max_iterations + 1):
+        spmm_op(d_b, q_b)
+        dq = _einsum("ij,ij->j", d_b, q_b)
+        # Columns hitting breakdown (indefinite/numerically broken: d·q
+        # <= 0) freeze at the *previous* iterate without converging —
+        # exactly pcg's early break, per column.
+        stepping = active & (dq > 0.0)
+        active &= stepping
+        if not np.any(stepping):
+            break
+        if trace.enabled():
+            trace.add_counter("cg.iterations", int(stepping.sum()))
+        alpha = np.where(stepping, rho / np.where(dq > 0.0, dq, 1.0), 0.0)
+        # Frozen columns ride along with alpha = 0: their x/r columns are
+        # bit-unchanged, so freezing costs bandwidth but never accuracy.
+        np.multiply(d_b, alpha, out=work_b)
+        x_b += work_b
+        np.multiply(q_b, alpha, out=work_b)
+        r_b -= work_b
+        r_norm = np.sqrt(_einsum("ij,ij->j", r_b, r_b))
+        step_cols = cols[stepping]
+        iterations[step_cols] = it
+        flops[step_cols] += spmv_flops + 8 * n
+        r_norm_final[step_cols] = r_norm[stepping]
+        if record_history:
+            for jb in np.flatnonzero(stepping):
+                histories[cols[jb]].record(float(r_norm[jb]))
+        done = stepping & (r_norm <= thresholds[cols])
+        if np.any(done):
+            converged[cols[done]] = True
+            active &= ~done
+        if not np.any(active):
+            break
+        apply_multi(r_b, z_b)
+        rho_new = _einsum("ij,ij->j", r_b, z_b)
+        flops[cols[active]] += precond_flops + 4 * n
+        beta = np.where(active, rho_new / np.where(rho != 0.0, rho, 1.0), 0.0)
+        np.multiply(d_b, beta, out=work_b)
+        np.add(z_b, work_b, out=d_b)
+        rho = rho_new
+
+        # Compaction: once fewer than half the block's columns are still
+        # active, shrink every workspace to the survivors and rebind the
+        # SpMM handle, so finished columns stop consuming bandwidth.
+        n_active = int(active.sum())
+        if n_active and n_active < kb / 2:
+            x_full[:, cols] = x_b  # bank every column's current iterate
+            keep = np.flatnonzero(active)
+            cols = cols[keep]
+            kb = len(cols)
+            x_b = np.ascontiguousarray(x_b[:, keep])
+            r_b = np.ascontiguousarray(r_b[:, keep])
+            d_b = np.ascontiguousarray(d_b[:, keep])
+            rho = rho[keep]
+            z_b = np.empty((n, kb))
+            q_b = np.empty((n, kb))
+            work_b = np.empty((n, kb))
+            spmm_op = backend.spmm_op(a, np.empty((a.nnz, kb)))
+            active = np.ones(kb, dtype=bool)
+
+    x_full[:, cols] = x_b
+    return _multi_result(
+        x_full, converged, iterations, r_norm_final, r_norm0, histories, flops,
+    )
+
+
+def _multi_result(
+    x_full: np.ndarray,
+    converged: np.ndarray,
+    iterations: np.ndarray,
+    r_norm_final: np.ndarray,
+    r_norm0: np.ndarray,
+    histories,
+    flops: np.ndarray,
+) -> MultiSolveResult:
+    """Assemble per-column :class:`SolveResult` rows into the block result."""
+    columns = []
+    for j in range(x_full.shape[1]):
+        rn0 = float(r_norm0[j])
+        rn = float(r_norm_final[j])
+        columns.append(
+            SolveResult(
+                x=x_full[:, j].copy(),
+                converged=bool(converged[j]),
+                iterations=int(iterations[j]),
+                residual_norm=rn,
+                relative_residual=rn / rn0 if rn0 > 0 else 0.0,
+                history=histories[j],
+                flops=int(flops[j]),
+            )
+        )
+    return MultiSolveResult(x=x_full, columns=columns)
 
 
 def cg(

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro._typing import FloatArray
 
-__all__ = ["ConvergenceHistory", "SolveResult"]
+__all__ = ["ConvergenceHistory", "MultiSolveResult", "SolveResult"]
 
 
 @dataclass
@@ -89,4 +89,49 @@ class SolveResult:
         return (
             f"SolveResult({status} in {self.iterations} iters, "
             f"rel_res={self.relative_residual:.3e})"
+        )
+
+
+@dataclass
+class MultiSolveResult:
+    """Outcome of a blocked multi-RHS PCG solve (:func:`repro.solvers.pcg_multi`).
+
+    The block solver runs ``k`` mathematically independent PCG recurrences
+    in lockstep, so each column has its own full :class:`SolveResult` —
+    iterate, convergence flag, iteration count, residuals, optional
+    history, flop estimate — exactly as the single-RHS solver would have
+    produced.  ``x`` stacks the per-column iterates as the ``(n, k)``
+    solution block.
+
+    Attributes
+    ----------
+    x:
+        ``(n, k)`` solution block; ``x[:, j]`` solves against ``B[:, j]``.
+    columns:
+        Per-column :class:`SolveResult` in right-hand-side order.
+    """
+
+    x: FloatArray
+    columns: List[SolveResult]
+
+    @property
+    def converged(self) -> bool:
+        """True iff every column converged within the budget."""
+        return all(c.converged for c in self.columns)
+
+    @property
+    def iterations(self) -> int:
+        """Largest per-column iteration count (the block's critical path)."""
+        return max((c.iterations for c in self.columns), default=0)
+
+    @property
+    def flops(self) -> int:
+        """Total estimated flops across all columns."""
+        return sum(c.flops for c in self.columns)
+
+    def __repr__(self) -> str:
+        done = sum(c.converged for c in self.columns)
+        return (
+            f"MultiSolveResult({done}/{len(self.columns)} columns converged, "
+            f"max {self.iterations} iters)"
         )

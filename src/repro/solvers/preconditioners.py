@@ -55,6 +55,13 @@ class IdentityPreconditioner:
         np.copyto(out, r)
         return out
 
+    def apply_multi_into(self, r: FloatArray, out: FloatArray) -> FloatArray:
+        """Blocked :meth:`apply_into` over an ``(n, k)`` residual block."""
+        if r.ndim != 2 or r.shape[0] != self.n:
+            raise ShapeError(f"expected (n, k) block with n={self.n}")
+        np.copyto(out, r)
+        return out
+
     def flops_per_application(self) -> int:
         return 0
 
@@ -88,6 +95,13 @@ class JacobiPreconditioner:
         if r.shape != (self.n,):
             raise ShapeError(f"expected vector of length {self.n}")
         np.multiply(r, self._inv_diag, out=out)
+        return out
+
+    def apply_multi_into(self, r: FloatArray, out: FloatArray) -> FloatArray:
+        """Blocked :meth:`apply_into`: every column scaled by ``D^{-1}``."""
+        if r.ndim != 2 or r.shape[0] != self.n:
+            raise ShapeError(f"expected (n, k) block with n={self.n}")
+        np.multiply(r, self._inv_diag[:, None], out=out)
         return out
 
     def flops_per_application(self) -> int:

@@ -12,6 +12,7 @@ permutation) so repeated products pay for them once.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -112,6 +113,7 @@ class DiaView:
     __slots__ = (
         "data", "sel", "xp", "windows", "lo", "n_in", "n_out",
         "rem_out", "rem_in", "rem_data", "rem_buf", "rem_ell",
+        "xpm", "windows_m",
     )
 
     def __init__(self, data: FloatArray, offsets: IndexArray,
@@ -134,6 +136,8 @@ class DiaView:
         self.rem_data = rem_data
         self.rem_buf = None if rem_data is None else np.empty(len(rem_data))
         self.rem_ell = rem_ell  # row-padded remainder (see _HYB_REM_MAX_PAD)
+        self.xpm = None  # (pad_len, k) twin of ``xp``, sized lazily per k
+        self.windows_m = None  # sliding windows over ``xpm``, rebuilt with it
 
     def apply(self, x: FloatArray, out: FloatArray) -> FloatArray:
         """``out[i] = sum_d data[d, i] * x[i + offset_d]`` (+ remainder)."""
@@ -148,6 +152,42 @@ class DiaView:
             out += np.bincount(
                 self.rem_out, weights=self.rem_buf, minlength=self.n_out,
             )
+        return out
+
+    def apply_multi(self, x: FloatArray, out: FloatArray) -> FloatArray:
+        """Blocked :meth:`apply`: ``out[:, j] = A @ x[:, j]`` for every column.
+
+        The zero-padded buffer grows a column axis (sized lazily to the
+        block width and kept until the width changes, so a solver's
+        repeated products reuse it).  The product itself is the blocked
+        twin of :meth:`apply`'s row-dot: select the same ``k`` window
+        slices of the padded block and contract the diagonal axis in one
+        einsum.  That contraction sums diagonals in the same ascending
+        order per output element as the single-vector kernel, so the
+        pure-stencil multi path stays bit-identical to ``k`` single
+        applies — and one call amortizes dispatch overhead across the
+        whole block, which is where the multi-RHS throughput win lives.
+        """
+        k = x.shape[1]
+        if self.xpm is None or self.xpm.shape[1] != k:
+            self.xpm = np.zeros((len(self.xp), k))
+            self.windows_m = np.lib.stride_tricks.sliding_window_view(
+                self.xpm, self.n_out, axis=0
+            )
+        self.xpm[self.lo:self.lo + self.n_in] = x
+        _einsum("dn,dkn->nk", self.data, self.windows_m[self.sel], out=out)
+        if self.rem_ell is not None:
+            out += _einsum(
+                "nw,nwk->nk", self.rem_ell.data,
+                x.take(self.rem_ell.gather_ids, axis=0),
+            )
+        elif self.rem_out is not None:
+            for j in range(k):  # bincount is 1-D; column loop keeps the
+                # scatter order identical to the single-vector remainder
+                np.multiply(self.rem_data, x[self.rem_in, j], out=self.rem_buf)
+                out[:, j] += np.bincount(
+                    self.rem_out, weights=self.rem_buf, minlength=self.n_out,
+                )
         return out
 
 
@@ -254,7 +294,7 @@ class CSRMatrix:
     __slots__ = (
         "n_rows", "n_cols", "indptr", "indices", "data", "_row_ids",
         "_entry_keys", "_row_segments", "_col_segments", "_ell", "_ell_t",
-        "_dia", "_dia_t",
+        "_dia", "_dia_t", "_fingerprint",
     )
 
     def __init__(
@@ -280,6 +320,7 @@ class CSRMatrix:
         self._ell_t = _UNSET  # lazy column-padded view for A.T products
         self._dia = _UNSET  # lazy diagonal view (None = not a stencil)
         self._dia_t = _UNSET  # lazy diagonal view of A.T
+        self._fingerprint: Optional[str] = None  # lazy content hash
 
     # ------------------------------------------------------------------
     # Structure
@@ -299,6 +340,26 @@ class CSRMatrix:
         return Pattern(
             self.n_rows, self.n_cols, self.indptr, self.indices, _validated=True
         )
+
+    def fingerprint(self) -> str:
+        """Content hash over dimensions, structure and values (cached).
+
+        The preconditioner cache (:mod:`repro.fsai.cache`) keys on this:
+        two matrices fingerprint equal exactly when they would produce the
+        same FSAI factor.  SHA-256 over the raw array bytes — a one-time
+        linear pass, cached because callers (the cache, campaign dedup)
+        probe repeatedly with the same object.  Mutating ``data`` in place
+        after the first call is outside the contract, as with every other
+        cached view on this class.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(np.int64([self.n_rows, self.n_cols]).tobytes())
+            h.update(np.ascontiguousarray(self.indptr).tobytes())
+            h.update(np.ascontiguousarray(self.indices).tobytes())
+            h.update(np.ascontiguousarray(self.data).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def row_ids(self) -> IndexArray:
         """Row id of every stored entry (cached ``np.repeat`` expansion)."""

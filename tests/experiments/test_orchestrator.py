@@ -318,3 +318,62 @@ class TestSerialization:
 
     def test_checkpoint_key(self):
         assert checkpoint_key("skylake", 7, "abc") == ("skylake", 7, "abc")
+
+
+# ----------------------------------------------------------------------
+# Kernel-backend propagation into workers
+# ----------------------------------------------------------------------
+def backend_probe_runner(case, config):
+    """Record what the *worker* resolved: env var + registry answer."""
+    from repro.kernels import ENV_VAR, get_backend
+
+    result = _fake_run(case, config)
+    result.kernel_backend = get_backend().name
+    result.runs[("fsaie_full", 0.0)].method = (
+        f"env={os.environ.get(ENV_VAR, '<unset>')}"
+    )
+    return result
+
+
+class TestBackendPropagation:
+    def test_parent_override_reaches_workers(self):
+        """A use_backend(...) override in the parent pins every worker.
+
+        Workers are fresh processes (possibly spawned, not forked), so the
+        parent's in-process registry override cannot travel by itself; the
+        orchestrator resolves the name once and pins it through the
+        environment variable the registry honours.
+        """
+        from repro.kernels import use_backend
+
+        with use_backend("reference"):
+            outcome = run_campaign_parallel(
+                CFG, case_ids=IDS[:2], jobs=2,
+                case_runner=backend_probe_runner,
+            )
+        assert outcome.ok
+        for r in outcome.campaign.results:
+            assert r.kernel_backend == "reference"
+            assert r.runs[("fsaie_full", 0.0)].method == "env=reference"
+
+    def test_default_backend_recorded_on_results(self):
+        from repro.kernels import get_backend
+
+        outcome = run_campaign_parallel(
+            CFG, case_ids=IDS[:2], jobs=2, case_runner=backend_probe_runner,
+        )
+        assert outcome.ok
+        expected = get_backend().name
+        for r in outcome.campaign.results:
+            assert r.kernel_backend == expected
+
+    def test_real_runner_stamps_kernel_backend(self):
+        outcome = run_campaign_parallel(CFG, case_ids=IDS[:1], jobs=1)
+        assert outcome.ok
+        (result,) = outcome.campaign.results
+        assert result.kernel_backend is not None
+        # And the stamp survives the checkpoint JSON round-trip.
+        rebuilt = CaseResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rebuilt.kernel_backend == result.kernel_backend

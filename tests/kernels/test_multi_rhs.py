@@ -1,0 +1,196 @@
+"""Blocked (multi-RHS) kernels agree with dense algebra on every backend.
+
+The SpMM / SpMM^T / fused multi-FSAI kernels reuse the matrix zoo from
+``test_backends`` so each vectorized path (exact DIA, HYB with COO or
+ELL remainder, row-padded ELL, reduceat fallback, and the adversarial
+small shapes) is driven through its blocked twin at several block
+widths, including ``k=1`` (degenerate block) and a width wide enough to
+matter for the serving workload (``k=32``).
+
+The second half covers the operand-validation satellite: float32 and
+integer blocks upcast with :class:`KernelInputWarning`, Fortran-ordered
+blocks are compacted silently, and unusable ``out`` buffers raise
+instead of being silently copied around.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.kernels import KernelInputWarning, get_backend
+from repro.sparse.construct import csr_from_dense
+from tests.kernels.test_backends import (
+    BACKENDS,
+    TRI_ZOO,
+    ZOO,
+    _assert_close,
+)
+
+WIDTHS = (1, 3, 32)
+
+
+def _block(rng, n, k):
+    return rng.standard_normal((n, k))
+
+
+# ----------------------------------------------------------------------
+# Dense agreement over the zoo, all backends x all widths
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("case", ZOO, ids=[name for name, _ in ZOO])
+@pytest.mark.parametrize("k", WIDTHS)
+def test_spmm_matches_dense(backend_name, case, k):
+    _, a = case
+    backend = get_backend(backend_name)
+    x = _block(np.random.default_rng(15), a.n_cols, k)
+    _assert_close(backend.spmm(a, x), a.to_dense() @ x)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("case", ZOO, ids=[name for name, _ in ZOO])
+@pytest.mark.parametrize("k", WIDTHS)
+def test_spmm_t_matches_dense(backend_name, case, k):
+    _, a = case
+    backend = get_backend(backend_name)
+    x = _block(np.random.default_rng(16), a.n_rows, k)
+    _assert_close(backend.spmm_t(a, x), a.to_dense().T @ x)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("case", ZOO, ids=[name for name, _ in ZOO])
+def test_spmm_workspace_variant_is_identical(backend_name, case):
+    """out=/scratch= must change allocation, never the numbers."""
+    _, a = case
+    backend = get_backend(backend_name)
+    k = 5
+    x = _block(np.random.default_rng(17), a.n_cols, k)
+    plain = backend.spmm(a, x)
+    out = np.full((a.n_rows, k), np.nan)
+    scratch = np.empty((a.nnz, k))
+    buffered = backend.spmm(a, x, out=out, scratch=scratch)
+    assert buffered is out
+    np.testing.assert_array_equal(buffered, plain)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_spmm_op_binds_the_same_kernel(backend_name):
+    backend = get_backend(backend_name)
+    k = 4
+    for _, a in ZOO:
+        x = _block(np.random.default_rng(18), a.n_cols, k)
+        out = np.empty((a.n_rows, k))
+        op = backend.spmm_op(a, np.empty((a.nnz, k)))
+        assert op(x, out) is out
+        _assert_close(out, a.to_dense() @ x)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("case", TRI_ZOO, ids=[name for name, _ in TRI_ZOO])
+@pytest.mark.parametrize("k", WIDTHS)
+def test_fsai_apply_multi_matches_dense(backend_name, case, k):
+    _, g = case
+    backend = get_backend(backend_name)
+    gd = g.to_dense()
+    r = _block(np.random.default_rng(19), g.n_rows, k)
+    expected = gd.T @ (gd @ r)
+    _assert_close(backend.fsai_apply_multi(g, r), expected)
+    # Fully-buffered variant and the bound handle the solver loop uses.
+    out = np.empty((g.n_rows, k))
+    tmp = np.empty((g.n_rows, k))
+    scratch = np.empty((g.nnz, k))
+    got = backend.fsai_apply_multi(g, r, out=out, tmp=tmp, scratch=scratch)
+    assert got is out
+    _assert_close(got, expected)
+    op = backend.fsai_apply_multi_op(g, tmp, scratch)
+    out2 = np.empty((g.n_rows, k))
+    assert op(r, out2) is out2
+    _assert_close(out2, expected)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_spmm_column_agrees_with_spmv(backend_name):
+    """Per-column agreement with the single-vector kernel (<= 1e-13)."""
+    backend = get_backend(backend_name)
+    for _, a in ZOO:
+        x = _block(np.random.default_rng(20), a.n_cols, 7)
+        block = backend.spmm(a, x)
+        for j in range(7):
+            _assert_close(block[:, j], backend.spmv(a, x[:, j].copy()))
+
+
+# ----------------------------------------------------------------------
+# Operand validation at the kernel boundary (satellite: dtype/contiguity)
+# ----------------------------------------------------------------------
+
+A_SMALL = csr_from_dense(
+    np.array([[4.0, -1.0, 0.0], [-1.0, 4.0, -1.0], [0.0, -1.0, 4.0]])
+)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_float32_vector_upcast_with_warning(backend_name):
+    backend = get_backend(backend_name)
+    x64 = np.array([1.5, -2.0, 0.25])
+    with pytest.warns(KernelInputWarning, match="float64"):
+        got = backend.spmv(A_SMALL, x64.astype(np.float32))
+    _assert_close(got, A_SMALL.to_dense() @ x64)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_float32_block_upcast_with_warning(backend_name):
+    backend = get_backend(backend_name)
+    x32 = np.random.default_rng(23).standard_normal((3, 4)).astype(np.float32)
+    with pytest.warns(KernelInputWarning, match="float64"):
+        got = backend.spmm(A_SMALL, x32)
+    _assert_close(got, A_SMALL.to_dense() @ x32.astype(np.float64))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_integer_rhs_upcast_with_warning(backend_name):
+    backend = get_backend(backend_name)
+    x = np.array([1, 2, 3])
+    with pytest.warns(KernelInputWarning):
+        got = backend.spmv(A_SMALL, x)
+    _assert_close(got, A_SMALL.to_dense() @ x.astype(np.float64))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_fortran_ordered_block_accepted_silently(backend_name):
+    backend = get_backend(backend_name)
+    x = np.asfortranarray(np.random.default_rng(24).standard_normal((3, 6)))
+    assert not x.flags.c_contiguous
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", KernelInputWarning)
+        got = backend.spmm(A_SMALL, x)
+    _assert_close(got, A_SMALL.to_dense() @ x)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_wrong_dtype_out_raises(backend_name):
+    backend = get_backend(backend_name)
+    x = np.ones(3)
+    with pytest.raises(TypeError, match="float64"):
+        backend.spmv(A_SMALL, x, np.empty(3, dtype=np.float32))
+    with pytest.raises(TypeError, match="float64"):
+        backend.spmm(A_SMALL, np.ones((3, 2)), np.empty((3, 2), dtype=np.float32))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_wrong_shape_out_raises(backend_name):
+    backend = get_backend(backend_name)
+    with pytest.raises(ValueError, match="shape"):
+        backend.spmv(A_SMALL, np.ones(3), np.empty(4))
+    with pytest.raises(ValueError, match="shape"):
+        backend.spmm(A_SMALL, np.ones((3, 2)), np.empty((3, 3)))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_wrong_rank_operand_raises(backend_name):
+    backend = get_backend(backend_name)
+    with pytest.raises(ValueError, match="2-D"):
+        backend.spmm(A_SMALL, np.ones(3))
+    with pytest.raises(ValueError, match="1-D"):
+        backend.spmv(A_SMALL, np.ones((3, 2)))
