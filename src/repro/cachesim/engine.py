@@ -61,6 +61,14 @@ def count_leq_before(values: np.ndarray) -> np.ndarray:
     its rank inside the right block is exactly the number of left-block
     elements ``<=`` it, and left blocks hold strictly earlier positions by
     construction.  O(n log² n) work, O(log n) Python steps.
+
+    Indexing is kept flat on purpose: ``take_along_axis`` /
+    ``put_along_axis`` spend more time in their Python-level index
+    plumbing than in the copy for these block sizes, so ranks are
+    scattered and permutations gathered through one precomputed flat
+    index per level.  Rows past the last real element hold only sentinel
+    padding (already sorted, counts discarded), so each level processes
+    just the prefix of rows that contain data.
     """
     values = np.asarray(values)
     n = len(values)
@@ -72,23 +80,27 @@ def count_leq_before(values: np.ndarray) -> np.ndarray:
     vals[:n] = values
     vals[n:] = values.max() + 1  # sentinel: never <= any real value
     orig = np.arange(size, dtype=np.int64)
+    ranks = np.empty(size, dtype=np.int64)
+    pos = np.arange(size, dtype=np.int64)
     half = 1
     while half < size:
         width = 2 * half
-        v2 = vals.reshape(-1, width)
-        o2 = orig.reshape(-1, width)
-        order = np.argsort(v2, axis=1, kind="stable")
-        ranks = np.empty_like(order)
-        np.put_along_axis(
-            ranks, order,
-            np.broadcast_to(np.arange(width), v2.shape), axis=1,
+        active = -(-n // width)  # rows holding at least one real element
+        lim = active * width
+        order = np.argsort(
+            vals[:lim].reshape(active, width), axis=1, kind="stable"
         )
+        flat = order + np.arange(0, lim, width, dtype=np.int64)[:, None]
+        flat = flat.ravel()
+        ranks[flat] = pos[:lim] & (width - 1)  # merged rank within each row
         # Right-half queries: merged rank − rank within the right half.
         # Each original position appears exactly once per level, so plain
         # fancy-index accumulation is safe (no duplicate targets).
-        counts[o2[:, half:]] += ranks[:, half:] - np.arange(half)
-        vals = np.take_along_axis(v2, order, axis=1).reshape(size)
-        orig = np.take_along_axis(o2, order, axis=1).reshape(size)
+        counts[orig[:lim].reshape(active, width)[:, half:]] += (
+            ranks[:lim].reshape(active, width)[:, half:] - pos[:half]
+        )
+        vals[:lim] = vals[flat]
+        orig[:lim] = orig[flat]
         half = width
     return counts[:n]
 

@@ -80,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "--machine", default="skylake", choices=sorted(MACHINES),
                 help="target machine model (default skylake)",
             )
+            sp.add_argument(
+                "--setup-backend", default=None, metavar="NAME",
+                help="FSAI setup backend: a kernel-registry name "
+                     "(auto/numpy/numba) or a legacy LAPACK path "
+                     "(bucketed/reference); default resolves "
+                     "$REPRO_KERNEL_BACKEND, then auto",
+            )
         if quick:
             sp.add_argument(
                 "--quick", action="store_true",
@@ -153,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="target machine model (default skylake)",
     )
     tr.add_argument(
+        "--setup-backend", default=None, metavar="NAME",
+        help="FSAI setup backend (see the table/figure commands)",
+    )
+    tr.add_argument(
         "--json", default=None, metavar="PATH",
         help="JSON trace output (default trace-case<ID>.json)",
     )
@@ -181,7 +192,9 @@ def _trace_case(args) -> str:
     from repro.experiments.runner import run_case
 
     case = get_case(args.case)
-    cfg = ExperimentConfig(machine=args.machine)
+    cfg = ExperimentConfig(
+        machine=args.machine, setup_backend=args.setup_backend
+    )
     t0 = time.perf_counter()
     with trace.collecting() as collector:
         result = run_case(case, cfg)
@@ -213,6 +226,7 @@ def _campaign(args, *, random_baseline: bool = False):
     cfg = ExperimentConfig(
         machine=getattr(args, "machine", "skylake"),
         include_random_baseline=random_baseline,
+        setup_backend=getattr(args, "setup_backend", None),
     )
     return run_campaign(
         cfg, case_ids=_case_ids(args),
@@ -311,7 +325,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.resume and not args.checkpoint_dir:
             print("--resume requires --checkpoint-dir", file=sys.stderr)
             return 2
-        cfg = ExperimentConfig(machine=args.machine)
+        cfg = ExperimentConfig(
+            machine=args.machine,
+            setup_backend=getattr(args, "setup_backend", None),
+        )
         outcome = run_campaign_parallel(
             cfg,
             case_ids=_case_ids(args),

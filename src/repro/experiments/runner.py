@@ -20,6 +20,7 @@ from repro.arch.machine import MachineModel
 from repro.arch.presets import get_machine
 from repro.collection.suite import MatrixCase, get_case
 from repro.errors import ConfigurationError
+from repro.fsai.frobenius import resolve_setup_backend
 from repro.fsai.extended import (
     FSAISetup,
     setup_fsai,
@@ -61,6 +62,10 @@ class ExperimentConfig:
     precalc_rtol: float = 1e-2
     precalc_iterations: int = 20
     include_random_baseline: bool = False
+    #: FSAI setup backend (``None`` = resolve via ``$REPRO_KERNEL_BACKEND``,
+    #: then ``"auto"``); legacy names ``bucketed``/``reference`` select the
+    #: LAPACK paths, anything else routes through the ``fsai_setup`` op.
+    setup_backend: Optional[str] = None
 
     def machine_model(self) -> MachineModel:
         return get_machine(self.machine)
@@ -78,6 +83,7 @@ class ExperimentConfig:
             "precalc_rtol": self.precalc_rtol,
             "precalc_iterations": self.precalc_iterations,
             "include_random_baseline": self.include_random_baseline,
+            "setup_backend": self.setup_backend,
         }
 
     @classmethod
@@ -159,6 +165,9 @@ class CaseResult:
     #: that executed the case, so orchestrated campaigns record which
     #: implementation produced each result even across worker processes.
     kernel_backend: Optional[str] = None
+    #: Concrete setup backend the FSAI local solves used, resolved the same
+    #: way (inside the executing process, after env/auto resolution).
+    setup_backend: Optional[str] = None
 
     def get(self, method: str, filter_value: float) -> MethodRun:
         return self.runs[(method, filter_value)]
@@ -203,6 +212,8 @@ class CaseResult:
             payload["trace_summary"] = self.trace_summary.to_dict()
         if self.kernel_backend is not None:
             payload["kernel_backend"] = self.kernel_backend
+        if self.setup_backend is not None:
+            payload["setup_backend"] = self.setup_backend
         return payload
 
     @classmethod
@@ -230,6 +241,7 @@ class CaseResult:
                 else None
             ),
             kernel_backend=payload.get("kernel_backend"),  # type: ignore[arg-type]
+            setup_backend=payload.get("setup_backend"),  # type: ignore[arg-type]
         )
 
 
@@ -326,12 +338,13 @@ def _run_case(
         )
         spmv_a_cost = model.spmv_cost(a.pattern)
 
-    baseline_setup = setup_fsai(a)
+    baseline_setup = setup_fsai(a, setup_backend=config.setup_backend)
     baseline = _evaluate(a, b, baseline_setup, model, spmv_a_cost, config)
 
     result = CaseResult(
         case=case, n=a.n_rows, nnz=a.nnz, machine=machine.name,
         baseline=baseline, kernel_backend=get_backend().name,
+        setup_backend=resolve_setup_backend(config.setup_backend),
     )
     reference_full: Optional[FSAISetup] = None
     for method in config.methods:
@@ -342,6 +355,7 @@ def _run_case(
                 filter_value=filter_value,
                 precalc_rtol=config.precalc_rtol,
                 precalc_iterations=config.precalc_iterations,
+                setup_backend=config.setup_backend,
             )
             if method == "fsaie_full" and filter_value == 0.01:
                 reference_full = setup
@@ -355,8 +369,12 @@ def _run_case(
                 a, placement, filter_value=0.01,
                 precalc_rtol=config.precalc_rtol,
                 precalc_iterations=config.precalc_iterations,
+                setup_backend=config.setup_backend,
             )
-        random_setup = setup_fsaie_random(a, reference_full, seed=case.case_id)
+        random_setup = setup_fsaie_random(
+            a, reference_full, seed=case.case_id,
+            setup_backend=config.setup_backend,
+        )
         result.runs[("fsaie_random", 0.01)] = _evaluate(
             a, b, random_setup, model, spmv_a_cost, config
         )

@@ -33,6 +33,7 @@ from repro.fsai.frobenius import (
     compute_g,
     gather_local_systems_bucketed,
     precalculate_g,
+    resolve_setup_backend,
     setup_flops_direct,
 )
 from repro.fsai.fillin import extend_pattern_cache_friendly, extension_entries
@@ -59,6 +60,7 @@ __all__ = [
     "compute_g",
     "gather_local_systems_bucketed",
     "precalculate_g",
+    "resolve_setup_backend",
     "setup_flops_direct",
     "extend_pattern_cache_friendly",
     "extension_entries",

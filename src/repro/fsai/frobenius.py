@@ -22,14 +22,18 @@ Two computation modes:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro import trace
 from repro._typing import FloatArray, IndexArray
-from repro.errors import ConfigurationError, NotSPDError, PatternError, ShapeError
+from repro.errors import NotSPDError, PatternError, ShapeError
+from repro.kernels import ENV_VAR as KERNEL_ENV_VAR
+from repro.kernels import get_backend, use_backend
+from repro.kernels.base import KernelBackend
 from repro.solvers.direct import solve_spd_batched, solve_spd_stacked
 from repro.solvers.local_cg import (
     DEFAULT_PRECALC_ITERATIONS,
@@ -47,20 +51,51 @@ __all__ = [
     "gather_local_systems_bucketed",
     "compute_g",
     "precalculate_g",
+    "resolve_setup_backend",
     "setup_flops_direct",
     "setup_flops_precalc",
 ]
 
-#: Recognised ``backend=`` values for the FSAI setup.
+#: Legacy ``backend=`` values for the FSAI setup: the LAPACK-backed
+#: bucketed path and the per-row reference loop.  Every other name is a
+#: kernel-registry backend and routes through the ``fsai_setup`` op.
+#: ``"reference"`` keeps its historical meaning (the per-row loop);
+#: the kernel reference backend's setup op is reachable via
+#: ``get_backend("reference").fsai_setup`` directly.
 FSAI_BACKENDS = ("bucketed", "reference")
 
 
-def _check_backend(backend: str) -> str:
-    if backend not in FSAI_BACKENDS:
-        raise ConfigurationError(
-            f"unknown FSAI setup backend {backend!r}; expected one of {FSAI_BACKENDS}"
-        )
-    return backend
+def _resolve_setup_backend(
+    backend: Optional[str],
+) -> Tuple[str, Union[str, KernelBackend]]:
+    """Resolve a setup ``backend=`` argument.
+
+    Precedence mirrors the solve side: an explicit name wins, otherwise
+    ``$REPRO_KERNEL_BACKEND``, otherwise ``"auto"`` (numba when
+    installed, numpy when not).  Returns ``("legacy", name)`` for the
+    historical LAPACK paths or ``("kernel", backend_instance)`` for
+    names handled by the kernel registry; unknown names raise
+    :class:`~repro.errors.ConfigurationError` from the registry.
+    """
+    if backend is None:
+        backend = os.environ.get(KERNEL_ENV_VAR, "").strip() or "auto"
+    if backend in FSAI_BACKENDS:
+        return "legacy", backend
+    return "kernel", get_backend(backend)
+
+
+def resolve_setup_backend(backend: Optional[str] = None) -> str:
+    """Concrete setup-backend name ``backend`` resolves to right now.
+
+    ``None`` applies the full default chain (env var, then ``"auto"``);
+    registry names collapse to the backend actually selected (e.g.
+    ``"numba"`` without numba installed resolves to ``"numpy"``).  This
+    is the name :class:`repro.experiments.runner.CaseResult` records.
+    """
+    _, resolved = _resolve_setup_backend(backend)
+    if isinstance(resolved, str):
+        return resolved
+    return resolved.name
 
 
 def _check_pattern(a: CSRMatrix, pattern: Pattern) -> None:
@@ -183,26 +218,46 @@ def _scatter_rows(
 
 
 def compute_g(
-    a: CSRMatrix, pattern: Pattern, *, backend: str = "bucketed"
+    a: CSRMatrix, pattern: Pattern, *, backend: Optional[str] = None
 ) -> CSRMatrix:
     """Exact Frobenius-minimal ``G`` on ``pattern`` (batched direct solves).
 
     The result satisfies ``diag(G A G^T) = 1`` exactly (up to roundoff);
     :mod:`tests.fsai` asserts this invariant.
 
-    ``backend="bucketed"`` (default) gathers and solves whole row-length
-    buckets with vectorised CSR indexing; ``backend="reference"`` is the
-    original per-row ``submatrix`` loop.  Both produce bit-identical ``G``
-    values — the stacked LAPACK inputs are byte-identical — which the
-    property tests assert over the generator collection.
+    ``backend=None`` (default) resolves through the kernel registry —
+    ``$REPRO_KERNEL_BACKEND`` when set, ``"auto"`` otherwise — and runs
+    the ``fsai_setup`` kernel op: grouped, identity-padded batched
+    Cholesky with byte-identical output across all kernel backends (see
+    :mod:`repro.kernels.setup`).  The legacy names stay available and
+    bit-for-bit unchanged: ``backend="bucketed"`` gathers and solves
+    whole row-length buckets with vectorised CSR indexing + LAPACK,
+    ``backend="reference"`` is the original per-row ``submatrix`` loop.
+    The op path and the LAPACK paths agree to solver roundoff
+    (``~1e-12`` relative), not bitwise — they factorise differently.
     """
     _check_pattern(a, pattern)
+    kind, resolved = _resolve_setup_backend(backend)
+    label = resolved if isinstance(resolved, str) else resolved.name
     with trace.span(
-        "fsai.frobenius", rows=pattern.n_rows, nnz=pattern.nnz, backend=backend
+        "fsai.frobenius", rows=pattern.n_rows, nnz=pattern.nnz, backend=label
     ):
         if trace.enabled():
             trace.add_counter("fsai.frobenius_flops", setup_flops_direct(pattern))
-        if _check_backend(backend) == "reference":
+        if kind == "kernel":
+            assert isinstance(resolved, KernelBackend)
+            lengths = _check_diagonals(pattern)
+            with trace.span(
+                "fsai_setup",
+                backend=resolved.name,
+                threads=resolved.setup_threads(),
+                rows=pattern.n_rows,
+                nnz=pattern.nnz,
+                mode="direct",
+            ):
+                data = resolved.fsai_setup(a, pattern, lengths=lengths)
+            return CSRMatrix.from_pattern(pattern, data)
+        if resolved == "reference":
             systems, rhs = gather_local_systems(a, pattern)
             solutions = solve_spd_batched(systems, rhs)
             return _assemble_g(pattern, solutions)
@@ -227,13 +282,38 @@ def compute_g(
         return CSRMatrix.from_pattern(pattern, data)
 
 
+def _precalc_bucketed(
+    a: CSRMatrix, pattern: Pattern, rtol: float, max_iterations: int
+) -> CSRMatrix:
+    """The bucketed truncated-CG precalculation body (shared by paths)."""
+    buckets = gather_local_systems_bucketed(a, pattern)
+    diag = a.diagonal()
+    data = np.empty(pattern.nnz)
+    for b in buckets:
+        sol = solve_spd_approximate_stacked(
+            b.systems, b.rhs, rtol=rtol, max_iterations=max_iterations
+        )
+        pivot = sol[:, -1]
+        good = (pivot > 0) & np.isfinite(pivot)
+        values = np.zeros_like(sol)
+        values[good] = sol[good] / np.sqrt(pivot[good])[:, None]
+        if not good.all():
+            fb_diag = diag[b.rows[~good]]
+            fb = np.ones(len(fb_diag))
+            positive = fb_diag > 0
+            fb[positive] = 1.0 / np.sqrt(fb_diag[positive])
+            values[~good, -1] = fb
+        _scatter_rows(data, pattern, b, values)
+    return CSRMatrix.from_pattern(pattern, data)
+
+
 def precalculate_g(
     a: CSRMatrix,
     pattern: Pattern,
     *,
     rtol: float = DEFAULT_PRECALC_RTOL,
     max_iterations: int = DEFAULT_PRECALC_ITERATIONS,
-    backend: str = "bucketed",
+    backend: Optional[str] = None,
 ) -> CSRMatrix:
     """Approximate ``G`` via truncated CG on the local systems (§5).
 
@@ -244,19 +324,36 @@ def precalculate_g(
     then simply keeps that row's extension decisions conservative rather
     than aborting setup.
 
-    ``backend`` selects the bucketed gather (default) or the per-row
-    reference loop, exactly as in :func:`compute_g`; values are
-    bit-identical either way.
+    ``backend`` resolves exactly as in :func:`compute_g`.  The truncated
+    CG needs the full symmetric local systems (for the stacked matvec),
+    so kernel-registry names keep the bucketed gather and run its
+    lockstep CG with the selected backend's ``stacked_matvec``; the
+    legacy names behave as before.  All paths are value-identical for a
+    given ``stacked_matvec`` implementation.
     """
     _check_pattern(a, pattern)
+    kind, resolved = _resolve_setup_backend(backend)
+    label = resolved if isinstance(resolved, str) else resolved.name
     with trace.span(
-        "fsai.precalc", rows=pattern.n_rows, nnz=pattern.nnz, backend=backend
+        "fsai.precalc", rows=pattern.n_rows, nnz=pattern.nnz, backend=label
     ):
         if trace.enabled():
             trace.add_counter(
                 "fsai.precalc_flops", setup_flops_precalc(pattern, max_iterations)
             )
-        if _check_backend(backend) == "reference":
+        if kind == "kernel":
+            assert isinstance(resolved, KernelBackend)
+            with trace.span(
+                "fsai_setup",
+                backend=resolved.name,
+                threads=resolved.setup_threads(),
+                rows=pattern.n_rows,
+                nnz=pattern.nnz,
+                mode="precalc",
+            ):
+                with use_backend(resolved.name):
+                    return _precalc_bucketed(a, pattern, rtol, max_iterations)
+        if resolved == "reference":
             systems, rhs = gather_local_systems(a, pattern)
             solutions = solve_spd_approximate_batched(
                 systems, rhs, rtol=rtol, max_iterations=max_iterations
@@ -273,25 +370,7 @@ def precalculate_g(
                 else:
                     data[lo:hi] = sol / np.sqrt(pivot)
             return CSRMatrix.from_pattern(pattern, data)
-        buckets = gather_local_systems_bucketed(a, pattern)
-        diag = a.diagonal()
-        data = np.empty(pattern.nnz)
-        for b in buckets:
-            sol = solve_spd_approximate_stacked(
-                b.systems, b.rhs, rtol=rtol, max_iterations=max_iterations
-            )
-            pivot = sol[:, -1]
-            good = (pivot > 0) & np.isfinite(pivot)
-            values = np.zeros_like(sol)
-            values[good] = sol[good] / np.sqrt(pivot[good])[:, None]
-            if not good.all():
-                fb_diag = diag[b.rows[~good]]
-                fb = np.ones(len(fb_diag))
-                positive = fb_diag > 0
-                fb[positive] = 1.0 / np.sqrt(fb_diag[positive])
-                values[~good, -1] = fb
-            _scatter_rows(data, pattern, b, values)
-        return CSRMatrix.from_pattern(pattern, data)
+        return _precalc_bucketed(a, pattern, rtol, max_iterations)
 
 
 def setup_flops_direct(pattern: Pattern) -> int:

@@ -67,6 +67,12 @@ from typing import Any, Optional, Tuple
 
 import numpy as np
 
+from repro.kernels.setup import (
+    gather_group_stack,
+    run_fsai_setup,
+    solve_group_stack,
+)
+
 __all__ = ["KernelBackend", "KernelInputWarning", "coerce_operand"]
 
 
@@ -216,6 +222,53 @@ class KernelBackend(ABC):
         r = coerce_operand(r, name="R", ndim=2)
         out = _prepare_out(out, (g.n_rows, r.shape[1]))
         return self._fsai_apply_multi(g, r, out, tmp, scratch)
+
+    # ------------------------------------------------------------------
+    # FSAI setup — the one *setup-side* kernel op
+    # ------------------------------------------------------------------
+    def fsai_setup(self, a: Any, pattern: Any, lengths=None) -> np.ndarray:
+        """Normalised FSAI factor data for ``pattern`` over SPD ``a``.
+
+        Solves every per-row local system ``A[S_i, S_i] ĝ = e_i`` in
+        identity-padded groups and returns the ``pattern.nnz`` data array
+        of the normalised factor ``G`` (see :mod:`repro.kernels.setup`
+        for the grouping and determinism contract).  The driver is
+        shared; backends override :meth:`_fsai_setup_build` (the gather)
+        and :meth:`_fsai_setup_solve` (the batched Cholesky) — both must
+        preserve the canonical per-element operation order so that every
+        backend's output is byte-identical.
+
+        Raises :class:`repro.errors.NotSPDError` when any local system
+        is not SPD.  ``lengths`` is the caller's validated row-length
+        array (recomputed when omitted).
+        """
+        return run_fsai_setup(self, a, pattern, lengths=lengths)
+
+    def setup_threads(self) -> int:
+        """Worker threads :meth:`fsai_setup` will use (1 = sequential).
+
+        Stamped on ``fsai_setup`` trace spans and consulted by the
+        orchestrator's thread-budget policy; parallel backends report
+        their live thread-pool size.
+        """
+        return 1
+
+    def _fsai_setup_build(
+        self, keys, a_data, n_cols, indptr, indices, rows_parts, group, K,
+    ) -> np.ndarray:
+        # Default: vectorized packed lower-triangle gather via one
+        # searchsorted over all k(k+1)/2 queries per bucket.  Gathered
+        # values are exact copies of a_data (or exact 0.0), so any
+        # override is automatically bit-compatible.
+        return gather_group_stack(
+            keys, a_data, n_cols, indptr, indices, rows_parts, group, K,
+        )
+
+    def _fsai_setup_solve(self, systems: np.ndarray) -> np.ndarray:
+        # Default: the canonical vectorized fused-column Cholesky +
+        # column back-substitution.  Overrides must replay the same
+        # per-element operation sequence (see solve_group_stack).
+        return solve_group_stack(systems)
 
     # ------------------------------------------------------------------
     # Implementation hooks (operands pre-validated, ``out`` allocated)

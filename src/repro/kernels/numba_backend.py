@@ -15,6 +15,15 @@ with an inner loop over the ``k`` block columns, so each sparse entry is
 read once and applied to all right-hand sides while it sits in register.
 Functions compile lazily on first call; the first invocation therefore
 pays JIT cost, every later call runs native code.
+
+The setup-side op (``fsai_setup``) distributes whole local systems across
+threads: a ``prange`` gather (per-system binary search into the sorted
+entry keys) and a ``prange`` batched scalar Cholesky whose per-element
+operation order replays :func:`repro.kernels.setup.solve_group_stack`
+exactly, compiled with ``error_model="numpy"`` so non-SPD pivots
+propagate NaN/inf IEEE-style instead of raising mid-kernel — the driver's
+batched pivot check owns the diagnostics.  Output is byte-identical to
+the numpy and reference backends.
 """
 
 from __future__ import annotations
@@ -124,6 +133,70 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
         for i in prange(len(d)):
             d[i] = z[i] + beta * d[i]
 
+    @njit(parallel=True, error_model="numpy")
+    def _fsai_gather_kernel(keys, a_data, n_cols, indptr, indices, rows,
+                            systems):
+        # One slot per local system; each thread binary-searches the
+        # sorted entry keys for its lower-triangle entries and identity-
+        # pads the top-left corner.  Values are exact copies of a_data
+        # (or the pre-zeroed 0.0), so the output is bit-identical to the
+        # vectorized searchsorted gather.
+        K = systems.shape[0]
+        nk = len(keys)
+        for s in prange(len(rows)):
+            row = rows[s]
+            start = indptr[row]
+            k = indptr[row + 1] - start
+            p = K - k
+            for d in range(p):
+                systems[d, d, s] = 1.0
+            for i in range(k):
+                ci = indices[start + i]
+                for j in range(i + 1):
+                    key = ci * n_cols + indices[start + j]
+                    lo, hi = 0, nk
+                    while lo < hi:
+                        mid = (lo + hi) // 2
+                        if keys[mid] < key:
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    if lo < nk and keys[lo] == key:
+                        systems[p + i, p + j, s] = a_data[lo]
+
+    @njit(parallel=True, error_model="numpy")
+    def _fsai_solve_kernel(systems, x):
+        # Scalar replay of solve_group_stack, one system per thread.
+        # error_model="numpy" keeps IEEE semantics: a non-SPD pivot
+        # becomes NaN/inf and propagates into x[-1] for the driver's
+        # batched check instead of raising inside the parallel region.
+        K = systems.shape[0]
+        m = systems.shape[2]
+        for s in prange(m):
+            L = np.zeros((K, K))
+            col = np.zeros(K)
+            xl = np.zeros(K)
+            for j in range(K):
+                for i in range(j, K):
+                    col[i] = systems[i, j, s]
+                for t in range(j):
+                    ljt = L[j, t]
+                    for i in range(j, K):
+                        col[i] -= L[i, t] * ljt
+                piv = np.sqrt(col[j])
+                L[j, j] = piv
+                for i in range(j + 1, K):
+                    L[i, j] = col[i] / piv
+            xl[K - 1] = 1.0 / L[K - 1, K - 1]
+            for i in range(K - 1, 0, -1):
+                v = xl[i] / L[i, i]
+                xl[i] = v
+                for t in range(i):
+                    xl[t] -= L[i, t] * v
+            xl[0] = xl[0] / L[0, 0]
+            for i in range(K):
+                x[i, s] = xl[i]
+
     @njit(parallel=True)
     def _stacked_matvec_kernel(a_stack, d_stack, out):
         m, k = d_stack.shape
@@ -180,6 +253,25 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
             _fsai_apply_multi_kernel(g.indptr, g.indices, g.data,
                                      np.ascontiguousarray(r), out, tmp)
             return out
+
+        def _fsai_setup_build(self, keys, a_data, n_cols, indptr, indices,
+                              rows_parts, group, K) -> np.ndarray:
+            rows = (np.concatenate(rows_parts) if rows_parts
+                    else np.empty(0, dtype=np.int64))
+            systems = np.zeros((K, K, len(rows)))
+            _fsai_gather_kernel(keys[:-1], a_data, np.int64(n_cols),
+                                indptr, indices, rows, systems)
+            return systems
+
+        def _fsai_setup_solve(self, systems: np.ndarray) -> np.ndarray:
+            x = np.zeros((systems.shape[0], systems.shape[2]))
+            _fsai_solve_kernel(np.ascontiguousarray(systems), x)
+            return x
+
+        def setup_threads(self) -> int:
+            import numba
+
+            return int(numba.get_num_threads())
 
         def pcg_step(self, alpha: float, x: np.ndarray, d: np.ndarray,
                      r: np.ndarray, q: np.ndarray,

@@ -61,6 +61,38 @@ class ReferenceBackend(KernelBackend):
     # bincount order, which is what makes this backend the multi-RHS
     # agreement oracle too.
 
+    def _fsai_setup_solve(self, systems: np.ndarray) -> np.ndarray:
+        # Scalar transcription of solve_group_stack, one system at a
+        # time: every per-element operation (the ascending-t update
+        # subtractions, the sqrt, the divisions, the back-sweep) happens
+        # in exactly the order the vectorized form applies it to that
+        # element, so the result is byte-identical — the oracle the
+        # cross-backend bit-identity tests rest on.
+        k, _, m = systems.shape
+        x = np.zeros((k, m))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            for s in range(m):
+                L = np.zeros((k, k))
+                col = np.zeros(k)
+                for j in range(k):
+                    for i in range(j, k):
+                        col[i] = systems[i, j, s]
+                    for t in range(j):
+                        ljt = L[j, t]
+                        for i in range(j, k):
+                            col[i] -= L[i, t] * ljt
+                    piv = np.sqrt(col[j])
+                    L[j, j] = piv
+                    for i in range(j + 1, k):
+                        L[i, j] = col[i] / piv
+                x[k - 1, s] = 1.0 / L[k - 1, k - 1]
+                for i in range(k - 1, 0, -1):
+                    x[i, s] = x[i, s] / L[i, i]
+                    for t in range(i):
+                        x[t, s] -= L[i, t] * x[i, s]
+                x[0, s] = x[0, s] / L[0, 0]
+        return x
+
     def pcg_step(self, alpha: float, x: np.ndarray, d: np.ndarray,
                  r: np.ndarray, q: np.ndarray,
                  work: Optional[np.ndarray] = None) -> float:

@@ -377,3 +377,74 @@ class TestBackendPropagation:
             json.loads(json.dumps(result.to_dict()))
         )
         assert rebuilt.kernel_backend == result.kernel_backend
+
+
+# ----------------------------------------------------------------------
+# Thread-budget propagation + setup-backend recording
+# ----------------------------------------------------------------------
+def thread_env_probe_runner(case, config):
+    """Record the thread-budget env exactly as the worker received it."""
+    result = _fake_run(case, config)
+    result.runs[("fsaie_full", 0.0)].method = (
+        f"numba={os.environ.get('NUMBA_NUM_THREADS', '<unset>')}"
+        f",omp={os.environ.get('OMP_NUM_THREADS', '<unset>')}"
+    )
+    return result
+
+
+class TestThreadBudget:
+    def test_workers_receive_thread_budget_env(self):
+        """Every worker sees NUMBA_NUM_THREADS/OMP_NUM_THREADS set to the
+        parent-computed budget (cores // jobs, at least 1)."""
+        from repro.parallel.threadbudget import threads_per_worker
+
+        jobs = 2
+        expected = str(threads_per_worker(jobs))
+        outcome = run_campaign_parallel(
+            CFG, case_ids=IDS[:2], jobs=jobs,
+            case_runner=thread_env_probe_runner,
+        )
+        assert outcome.ok
+        for r in outcome.campaign.results:
+            assert (
+                r.runs[("fsaie_full", 0.0)].method
+                == f"numba={expected},omp={expected}"
+            )
+
+    def test_policy_never_oversubscribes(self):
+        from repro.parallel.threadbudget import (
+            THREAD_ENV_VARS,
+            thread_budget_env,
+            threads_per_worker,
+        )
+
+        for cores in (1, 2, 4, 7, 48):
+            for jobs in (1, 2, 3, cores, cores + 5):
+                t = threads_per_worker(jobs, cores=cores)
+                assert t >= 1
+                assert jobs * t <= max(cores, jobs)  # never oversubscribed
+        env = thread_budget_env(4, cores=48)
+        assert set(env) == set(THREAD_ENV_VARS)
+        assert all(v == "12" for v in env.values())
+
+    def test_real_runner_stamps_setup_backend(self):
+        from repro.fsai.frobenius import resolve_setup_backend
+
+        outcome = run_campaign_parallel(CFG, case_ids=IDS[:1], jobs=1)
+        assert outcome.ok
+        (result,) = outcome.campaign.results
+        assert result.setup_backend == resolve_setup_backend(None)
+        rebuilt = CaseResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rebuilt.setup_backend == result.setup_backend
+
+    def test_explicit_setup_backend_recorded(self):
+        cfg = ExperimentConfig(
+            filters=(0.0,), methods=("fsaie_sp",), setup_backend="bucketed"
+        )
+        from repro.collection.suite import get_case
+
+        result = run_case(get_case(52), cfg)
+        assert result.setup_backend == "bucketed"
+        assert ExperimentConfig.from_dict(cfg.to_dict()) == cfg
