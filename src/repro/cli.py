@@ -12,6 +12,8 @@ Examples
     repro-fsai campaign --jobs 4 --timeout 300 --checkpoint-dir shards/
     repro-fsai campaign --resume --checkpoint-dir shards/   # pick up where killed
     repro-fsai trace 37                  # one traced case -> JSON + Chrome trace
+    repro-fsai serve --cases 37 52       # HTTP door on the batching service
+    repro-fsai bench-serve --gate        # serving bench, CI gates
 
 ``python -m repro`` is an alias for the installed script.  ``campaign`` and
 ``report`` accept ``--jobs/--timeout/--retries/--checkpoint-dir/--resume``
@@ -176,6 +178,80 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None,
         help="write the phase summary to this file instead of stdout",
     )
+    sv = sub.add_parser(
+        "serve",
+        help="HTTP front door over the micro-batching solver service "
+             "(stdlib http.server only; docs/serving.md)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=8787,
+        help="listen port (0 picks a free one; default 8787)",
+    )
+    sv.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="micro-batching window in milliseconds (default 2)",
+    )
+    sv.add_argument(
+        "--max-batch", type=int, default=32,
+        help="max requests fused into one blocked solve (default 32)",
+    )
+    sv.add_argument(
+        "--queue-capacity", type=int, default=128,
+        help="admission queue bound; beyond it requests are rejected "
+             "with HTTP 429 (default 128)",
+    )
+    sv.add_argument(
+        "--cases", type=int, nargs="*", default=None,
+        help="pre-register these Table 1 suite operators at startup",
+    )
+    sv.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    bs = sub.add_parser(
+        "bench-serve",
+        help="serving bench: micro-batching throughput vs serial solving, "
+             "batching/caching and overload-shedding gates (docs/serving.md)",
+    )
+    bs.add_argument(
+        "-o", "--output", default=None,
+        help="write the summary to this file instead of stdout",
+    )
+    bs.add_argument(
+        "--requests", type=int, default=96,
+        help="requests in the replayed mixed-operator stream (default 96)",
+    )
+    bs.add_argument(
+        "--grids", type=int, nargs="+", default=None, metavar="SIDE",
+        help="poisson2d grid sides, one operator each (default 12 16)",
+    )
+    bs.add_argument(
+        "--window-ms", type=float, default=5.0,
+        help="micro-batching window in milliseconds (default 5)",
+    )
+    bs.add_argument("--max-batch", type=int, default=32)
+    bs.add_argument("--queue-capacity", type=int, default=256)
+    bs.add_argument(
+        "--overload-burst", type=int, default=48,
+        help="burst size for the forced-overload phase; 0 disables it",
+    )
+    bs.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the serial baseline (no speedup reported)",
+    )
+    bs.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="also gate served-vs-serial speedup at this floor",
+    )
+    bs.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full report (metrics, counters, gates) as JSON",
+    )
+    bs.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 when any gate fails (CI mode)",
+    )
     return p
 
 
@@ -234,10 +310,93 @@ def _campaign(args, *, random_baseline: bool = False):
     )
 
 
+def _serve(args) -> int:
+    """Run the stdlib HTTP front door until interrupted."""
+    from repro.serve.client import InProcessClient
+    from repro.serve.http import make_server
+
+    client = InProcessClient(
+        window_seconds=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        queue_capacity=args.queue_capacity,
+    )
+    client.start()
+    try:
+        for case_id in args.cases or []:
+            case = get_case(case_id)
+            fingerprint = client.register(case.build())
+            print(
+                f"registered case {case_id} ({case.name}) as "
+                f"{fingerprint[:16]}",
+                file=sys.stderr,
+            )
+        server = make_server(
+            client, host=args.host, port=args.port, verbose=args.verbose
+        )
+        try:
+            host, port = server.server_address[0], server.server_address[1]
+            print(
+                f"serving on http://{host}:{port} "
+                f"(window {args.window_ms}ms, max batch {args.max_batch}, "
+                f"queue {args.queue_capacity}; Ctrl-C to stop)",
+                file=sys.stderr,
+            )
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        finally:
+            server.server_close()
+    finally:
+        client.close()
+    return 0
+
+
+def _bench_serve(args) -> int:
+    """Run the serving bench; report to stdout, gates drive the exit code."""
+    import json
+
+    from repro.serve.benchrun import ServingBenchConfig, run_serving_bench
+
+    kwargs = dict(
+        requests=args.requests,
+        window_seconds=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        queue_capacity=args.queue_capacity,
+        overload_burst=args.overload_burst,
+        baseline=not args.no_baseline,
+        min_speedup=args.min_speedup,
+    )
+    if args.grids:
+        kwargs["grids"] = tuple(args.grids)
+    report = run_serving_bench(
+        ServingBenchConfig(**kwargs),
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    out_text = "\n".join(report.summary_lines())
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out_text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(out_text)
+    if args.gate and report.gate_failures:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     out_text: str
     exit_code = 0
+
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "bench-serve":
+        return _bench_serve(args)
 
     if args.command == "suite":
         if getattr(args, "detail", False):

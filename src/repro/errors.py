@@ -51,6 +51,49 @@ class ConfigurationError(ReproError, ValueError):
     """An invalid machine/experiment configuration was supplied."""
 
 
+class ServeError(ReproError):
+    """Base class for failures raised by the serving layer (:mod:`repro.serve`).
+
+    Every admission/servicing failure a client can observe derives from
+    this, so a front door can map the family to transport-level error
+    codes with a single ``except ServeError`` clause.
+    """
+
+
+class OverloadRejectedError(ServeError, RuntimeError):
+    """Admission control rejected a request because the queue is full.
+
+    This is the backpressure signal: the service sheds load instead of
+    buffering unboundedly.  Clients should back off and retry.
+    """
+
+    def __init__(self, message: str, queue_capacity: int) -> None:
+        super().__init__(message)
+        #: Configured bound of the admission queue that was full.
+        self.queue_capacity = queue_capacity
+
+
+class RequestTimeoutError(ServeError, TimeoutError):
+    """A request's deadline expired while it waited to be dispatched.
+
+    Raised only *before* its batch starts solving — a request that makes
+    it into a running block is always carried to completion.
+    """
+
+    def __init__(self, message: str, waited_seconds: float) -> None:
+        super().__init__(message)
+        #: How long the request had been queued when it was expired.
+        self.waited_seconds = waited_seconds
+
+
+class UnknownOperatorError(ServeError, KeyError):
+    """A request referenced an operator fingerprint never registered."""
+
+
+class ServiceClosedError(ServeError, RuntimeError):
+    """A request was submitted to a service that is stopped or stopping."""
+
+
 class CampaignIncompleteError(ReproError, RuntimeError):
     """An orchestrated campaign finished with unrecovered case failures.
 

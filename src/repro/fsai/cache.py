@@ -22,9 +22,15 @@ collector is therefore the authoritative witness that setup was skipped,
 which is exactly how ``tests/fsai/test_cache.py`` asserts it.
 
 Thread-safety: probes and insertions hold a lock, so a cache instance may
-be shared across threads.  The campaign orchestrator's *process*-based
-workers each see their own cache (nothing is shared through fork), which
-is the intended isolation.
+be shared across threads.  Builds are **single-flight**: when several
+threads miss the same key concurrently, one (the leader) runs the
+builder while the rest wait on a per-key event and then re-probe; the
+waiters count as ``coalesced`` (plus a ``fsai.cache_coalesce`` trace
+counter) and resolve to hits without duplicating setup work.  This is
+what lets the serving dispatcher share one cache across its solver
+thread and any number of callers.  The campaign orchestrator's
+*process*-based workers each see their own cache (nothing is shared
+through fork), which is the intended isolation.
 """
 
 from __future__ import annotations
@@ -68,9 +74,13 @@ class PreconditionerCache:
         self.capacity = int(capacity)
         self._entries: "OrderedDict[Tuple[str, str, str], Any]" = OrderedDict()
         self._lock = threading.Lock()
+        #: In-flight builds: key -> event set when the leader finishes
+        #: (successfully or not).  Guarded by ``_lock``.
+        self._pending: Dict[Tuple[str, str, str], threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.coalesced = 0
 
     def get_or_build(
         self,
@@ -86,20 +96,47 @@ class PreconditionerCache:
         ``fsai.setup`` span and does no setup work at all.  The built
         value is stored as-is (setups are treated as immutable; callers
         must not mutate a cached factor in place).
+
+        Concurrent misses on the same key are single-flight: the first
+        thread builds, the rest block on a per-key event and re-probe
+        when it completes, counting as ``coalesced`` + ``hits`` rather
+        than duplicate ``misses``.  If the leader's builder raises (or
+        the entry is evicted between insertion and wake-up), a waiter
+        retries from the top and becomes the new leader — waiting never
+        returns a stale or missing entry.
         """
         key = (a.fingerprint(), method, _config_key(config))
-        with self._lock:
-            entry = self._entries.get(key, None)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                trace.add_counter("fsai.cache_hit")
-                return entry
-            self.misses += 1
-        # Build outside the lock: setup is the expensive part, and two
-        # threads racing the same key at worst build twice (last wins).
+        while True:
+            with self._lock:
+                entry = self._entries.get(key, None)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    trace.add_counter("fsai.cache_hit")
+                    return entry
+                pending = self._pending.get(key, None)
+                if pending is None:
+                    # Leader: claim the key before releasing the lock so
+                    # every other thread arriving for it parks below.
+                    self._pending[key] = threading.Event()
+                    self.misses += 1
+                    break
+                self.coalesced += 1
+            # Waiter: the build is already in flight on another thread.
+            trace.add_counter("fsai.cache_coalesce")
+            pending.wait()
+            # Re-probe from the top: the usual wake-up finds the entry
+            # and returns it as a hit; if the leader failed or the entry
+            # was already evicted, the loop elects a new leader.
+
+        # Build outside the lock: setup is the expensive part and must
+        # not serialize unrelated keys behind it.
         trace.add_counter("fsai.cache_miss")
-        value = build()
+        try:
+            value = build()
+        except BaseException:
+            self._finish(key)
+            raise
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -107,7 +144,15 @@ class PreconditionerCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
                 trace.add_counter("fsai.cache_evict")
+        self._finish(key)
         return value
+
+    def _finish(self, key: Tuple[str, str, str]) -> None:
+        """Release waiters parked on ``key`` (leader done, well or badly)."""
+        with self._lock:
+            event = self._pending.pop(key, None)
+        if event is not None:
+            event.set()
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counts plus current occupancy."""
@@ -116,6 +161,7 @@ class PreconditionerCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "coalesced": self.coalesced,
                 "size": len(self._entries),
                 "capacity": self.capacity,
             }

@@ -1,0 +1,221 @@
+"""Thin stdlib HTTP front door over the in-process service.
+
+Strictly optional sugar: the dispatcher and client harness never touch a
+socket, and everything here is standard library (``http.server`` +
+``json``) so importing this module can never pull an extra dependency.
+The JSON wire format is deliberately naive — the serving claims this
+repo gates are about batching and caching, not serialization.
+
+Routes
+------
+``GET  /healthz``    ``{"status": "ok", "operators": N}``
+``GET  /metrics``    :meth:`ServiceMetrics.snapshot` as JSON
+``GET  /operators``  registered fingerprints
+``POST /operators``  body ``{n_rows, n_cols, indptr, indices, data,
+                     method?, config?}`` -> ``{"operator": fingerprint}``
+``POST /solve``      body ``{operator, rhs, rtol?, atol?,
+                     max_iterations?, timeout?}`` -> ServeResult JSON
+
+Error mapping: overload -> 429, unknown operator -> 404, request timeout
+-> 408 (all carrying ``{"error": ..., "type": ...}``), malformed bodies
+-> 400, stopped service -> 503.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple, Type, cast
+
+from repro.errors import (
+    OverloadRejectedError,
+    RequestTimeoutError,
+    ReproError,
+    ServeError,
+    ServiceClosedError,
+    UnknownOperatorError,
+)
+from repro.serve.client import InProcessClient
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ServiceHTTPServer", "make_server"]
+
+#: ServeError subclass -> HTTP status.
+_STATUS: Dict[Type[BaseException], int] = {
+    OverloadRejectedError: 429,
+    UnknownOperatorError: 404,
+    RequestTimeoutError: 408,
+    ServiceClosedError: 503,
+}
+
+
+def _status_for(exc: BaseException) -> int:
+    for klass, status in _STATUS.items():
+        if isinstance(exc, klass):
+            return status
+    if isinstance(exc, ServeError):
+        return 503
+    return 400
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request handler; the bound client rides on the server object."""
+
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _service_server(self) -> "ServiceHTTPServer":
+        # The base class types ``server`` as BaseServer; this handler is
+        # only ever constructed by ServiceHTTPServer.
+        return cast("ServiceHTTPServer", self.server)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self._service_server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, exc: BaseException) -> None:
+        self._send(
+            _status_for(exc),
+            {"error": str(exc), "type": type(exc).__name__},
+        )
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw.decode())
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        client = self._service_server.client
+        if self.path == "/healthz":
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "operators": len(client.service.registry),
+                },
+            )
+        elif self.path == "/metrics":
+            self._send(200, client.snapshot())
+        elif self.path == "/operators":
+            self._send(
+                200, {"operators": client.service.registry.fingerprints()}
+            )
+        else:
+            self._send(404, {"error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+        try:
+            payload = self._read_json()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"bad JSON body: {exc}"})
+            return
+        if self.path == "/operators":
+            self._register(payload)
+        elif self.path == "/solve":
+            self._solve(payload)
+        else:
+            self._send(404, {"error": f"no route {self.path}"})
+
+    def _register(self, payload: Dict[str, Any]) -> None:
+        try:
+            matrix = CSRMatrix(
+                int(payload["n_rows"]),
+                int(payload["n_cols"]),
+                payload["indptr"],
+                payload["indices"],
+                payload["data"],
+            )
+            fingerprint = self._service_server.client.register(
+                matrix,
+                method=str(payload.get("method", "fsai")),
+                **dict(payload.get("config", {})),
+            )
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            self._send(400, {"error": str(exc), "type": type(exc).__name__})
+            return
+        self._send(200, {"operator": fingerprint, "n": matrix.n_rows})
+
+    def _solve(self, payload: Dict[str, Any]) -> None:
+        try:
+            operator = str(payload["operator"])
+            rhs = payload["rhs"]
+            kwargs: Dict[str, Any] = {}
+            if "rtol" in payload:
+                kwargs["rtol"] = float(payload["rtol"])
+            if "atol" in payload:
+                kwargs["atol"] = float(payload["atol"])
+            if "max_iterations" in payload:
+                kwargs["max_iterations"] = int(payload["max_iterations"])
+            if "timeout" in payload:
+                kwargs["timeout"] = float(payload["timeout"])
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send(400, {"error": str(exc), "type": type(exc).__name__})
+            return
+        try:
+            result = self._service_server.client.solve(operator, rhs, **kwargs)
+        except ReproError as exc:
+            self._send_error(exc)
+            return
+        except (TypeError, ValueError) as exc:
+            self._send(400, {"error": str(exc), "type": type(exc).__name__})
+            return
+        self._send(200, result.to_dict())
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`InProcessClient`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        client: InProcessClient,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.client = client
+        self.verbose = verbose
+
+
+def make_server(
+    client: InProcessClient,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (``port=0`` picks a free one); caller runs ``serve_forever``.
+
+    The client must already be started; the server never owns its
+    lifecycle, so one service can sit behind HTTP and in-process callers
+    at the same time.
+    """
+    return ServiceHTTPServer((host, port), client, verbose=verbose)
+
+
+def serve_forever(
+    server: ServiceHTTPServer, ready: Optional[Any] = None
+) -> None:
+    """Blocking convenience used by the CLI; ``ready`` is set when live."""
+    if ready is not None:
+        ready.set()
+    server.serve_forever()

@@ -29,6 +29,7 @@ from repro.trace.core import (
     set_attr,
     span,
 )
+from repro.trace.histogram import LatencyHistogram
 from repro.trace.export import (
     JSON_SCHEMA,
     to_chrome_trace,
@@ -40,6 +41,7 @@ from repro.trace.summary import TraceSummary
 
 __all__ = [
     "Collector",
+    "LatencyHistogram",
     "SpanRecord",
     "TraceSummary",
     "JSON_SCHEMA",

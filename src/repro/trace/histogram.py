@@ -1,0 +1,163 @@
+"""Log-bucketed latency histograms with percentile estimation.
+
+The serving layer (:mod:`repro.serve`) needs per-request latency
+percentiles that are cheap to record on the hot path, mergeable across
+runs, and serialisable into bench artifacts.  A fixed geometric bucket
+ladder gives all three: recording is one ``bisect`` into a precomputed
+boundary list, merging is element-wise addition, and the JSON form is a
+short count vector.
+
+Accuracy contract: a percentile estimate is the **upper edge** of the
+bucket containing the target rank (clamped to the exact observed
+maximum), so with the default ``factor=2`` growth an estimate is at most
+2x the true value and never below it — the conservative direction for a
+latency SLO gate.  Exact ``count``/``total``/``min``/``max`` are kept on
+the side, so means and extremes carry no bucketing error.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["LatencyHistogram"]
+
+#: Default ladder: 1 µs lower edge, doubling per bucket.  32 buckets
+#: reach past 2000 s — far beyond any per-request latency this system
+#: can produce — and the final bucket is an unbounded overflow catch-all.
+DEFAULT_START = 1e-6
+DEFAULT_FACTOR = 2.0
+DEFAULT_BUCKETS = 32
+
+
+class LatencyHistogram:
+    """Geometric-bucket histogram over non-negative durations (seconds).
+
+    Not thread-safe by itself; callers that record from several threads
+    (e.g. :class:`repro.serve.metrics.ServiceMetrics`) hold their own
+    lock around :meth:`record`.
+    """
+
+    __slots__ = ("_edges", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        start: float = DEFAULT_START,
+        factor: float = DEFAULT_FACTOR,
+        n_buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        if start <= 0.0:
+            raise ValueError(f"start must be positive, got {start}")
+        if factor <= 1.0:
+            raise ValueError(f"factor must exceed 1, got {factor}")
+        if n_buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {n_buckets}")
+        # Upper edges of the first n-1 buckets; the last bucket is
+        # unbounded.  Bucket 0 additionally catches everything <= start.
+        self._edges: List[float] = [
+            start * factor**i for i in range(n_buckets - 1)
+        ]
+        self.counts: List[int] = [0] * n_buckets
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording and merging
+    # ------------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        """Record one duration (negative values are clamped to zero)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        index = bisect_left(self._edges, seconds)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (ladders must match)."""
+        if other._edges != self._edges:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Exact mean of recorded durations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-th percentile (0 <= q <= 100).
+
+        Returns 0.0 when empty.  The estimate is the upper edge of the
+        bucket holding the target rank, clamped to the exact observed
+        ``max`` (so ``percentile(100) == max`` always).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        # Rank of the target observation, 1-based, ceil semantics.
+        rank = max(1, int(-(-q * self.count // 100)))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                edge = (
+                    self._edges[i] if i < len(self._edges) else float("inf")
+                )
+                return min(edge, self.max)
+        return self.max  # pragma: no cover - ranks always land above
+
+    def percentiles(self, qs: Sequence[float]) -> Dict[str, float]:
+        """``{"p50": ..., "p99": ...}``-style map for several percentiles."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "start": self._edges[0],
+            "factor": self._edges[1] / self._edges[0],
+            "counts": list(self.counts),
+            "count": self.count,
+            "total_seconds": self.total,
+            "min_seconds": self.min if self.count else 0.0,
+            "max_seconds": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LatencyHistogram":
+        hist = cls(
+            start=float(payload["start"]),
+            factor=float(payload["factor"]),
+            n_buckets=len(payload["counts"]),
+        )
+        hist.counts = [int(c) for c in payload["counts"]]
+        hist.count = int(payload["count"])
+        hist.total = float(payload["total_seconds"])
+        hist.max = float(payload["max_seconds"])
+        hist.min = float(payload["min_seconds"]) if hist.count else float("inf")
+        return hist
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "LatencyHistogram(empty)"
+        return (
+            f"LatencyHistogram(count={self.count}, "
+            f"mean={self.mean * 1e3:.3f}ms, "
+            f"p99<={self.percentile(99) * 1e3:.3f}ms)"
+        )

@@ -55,7 +55,8 @@ class TestGetOrBuild:
         assert second is first
         assert len(calls) == 1
         assert cache.stats() == {
-            "hits": 1, "misses": 1, "evictions": 0, "size": 1, "capacity": 4,
+            "hits": 1, "misses": 1, "evictions": 0, "coalesced": 0,
+            "size": 1, "capacity": 4,
         }
 
     def test_method_and_config_participate_in_key(self):

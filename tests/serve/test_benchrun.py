@@ -1,0 +1,103 @@
+"""Serving bench harness: gates, report shape, overload phase."""
+
+import json
+
+from repro.serve.benchrun import (
+    ServingBenchConfig,
+    ServingBenchReport,
+    run_serving_bench,
+)
+
+#: Small-but-real scope: enough requests to force batching, tiny grids.
+SMOKE = ServingBenchConfig(
+    requests=12,
+    grids=(8,),
+    window_seconds=0.005,
+    max_batch=8,
+    queue_capacity=64,
+    overload_burst=8,
+    overload_queue_capacity=2,
+    overload_max_batch=2,
+)
+
+
+class TestRun:
+    def test_smoke_scope_passes_every_gate(self):
+        notes = []
+        report = run_serving_bench(SMOKE, progress=notes.append)
+        assert report.gate_failures == []
+        assert report.all_converged
+        assert report.metrics["mean_batch_size"] > 1.0
+        assert report.counters.get("fsai.cache_hit", 0) > 0
+        assert report.overload is not None
+        assert report.overload["rejected"] > 0
+        assert report.overload["unresolved"] == 0
+        assert report.overload["unexpected_errors"] == 0
+        assert report.speedup is not None and report.speedup > 0
+        assert any("workload" in note for note in notes)
+
+    def test_no_baseline_skips_serial_timing(self):
+        config = ServingBenchConfig(
+            requests=6, grids=(8,), baseline=False, overload_burst=0
+        )
+        report = run_serving_bench(config)
+        assert report.serial_seconds is None
+        assert report.speedup is None
+        assert report.overload is None
+
+    def test_unreachable_speedup_floor_fails_the_gate(self):
+        config = ServingBenchConfig(
+            requests=6, grids=(8,), overload_burst=0, min_speedup=1000.0
+        )
+        report = run_serving_bench(config)
+        assert any("1000.0x floor" in f for f in report.gate_failures)
+
+    def test_min_speedup_without_baseline_fails_the_gate(self):
+        config = ServingBenchConfig(
+            requests=6, grids=(8,), baseline=False, overload_burst=0,
+            min_speedup=1.0,
+        )
+        report = run_serving_bench(config)
+        assert any("no baseline" in f for f in report.gate_failures)
+
+
+class TestReportShape:
+    def test_to_dict_is_json_complete(self):
+        report = run_serving_bench(SMOKE)
+        payload = report.to_dict()
+        for key in (
+            "requests", "n_operators", "served_seconds",
+            "served_rhs_per_sec", "serial_seconds", "speedup",
+            "all_converged", "metrics", "counters", "overload",
+            "gate_failures",
+        ):
+            assert key in payload
+        assert payload["requests"] == SMOKE.requests
+        assert "p99" in payload["metrics"]["latency_seconds"]
+        json.dumps(payload)  # must be serialisable as-is
+
+    def test_summary_lines_name_the_verdict(self):
+        report = run_serving_bench(SMOKE)
+        lines = report.summary_lines()
+        assert any(line.startswith("gates: PASS") for line in lines)
+        assert any("p99" in line for line in lines)
+        assert any("overload burst" in line for line in lines)
+
+    def test_failing_report_summarises_failures(self):
+        report = ServingBenchReport(
+            config=ServingBenchConfig(overload_burst=0),
+            n_operators=1,
+            served_seconds=0.5,
+            served_rhs_per_sec=10.0,
+            metrics={
+                "mean_batch_size": 1.0,
+                "latency_seconds": {"p50": 0.1, "p99": 0.2, "max": 0.3},
+            },
+            counters={},
+            all_converged=True,
+            gate_failures=["mean batch size 1.00 <= 1"],
+        )
+        assert any(
+            "FAIL" in line and "mean batch size" in line
+            for line in report.summary_lines()
+        )

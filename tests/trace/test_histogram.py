@@ -1,0 +1,139 @@
+"""LatencyHistogram: conservative percentiles, merging, serialization."""
+
+import json
+
+import pytest
+
+from repro.trace import LatencyHistogram
+
+
+class TestRecording:
+    def test_exact_side_statistics(self):
+        hist = LatencyHistogram()
+        for v in (0.001, 0.004, 0.002):
+            hist.record(v)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(0.007)
+        assert hist.mean == pytest.approx(0.007 / 3)
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(0.004)
+
+    def test_negative_durations_clamp_to_zero(self):
+        hist = LatencyHistogram()
+        hist.record(-1.0)
+        assert hist.count == 1
+        assert hist.min == 0.0
+        assert hist.total == 0.0
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(99) == 0.0
+        assert "empty" in repr(hist)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            LatencyHistogram(start=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            LatencyHistogram(factor=1.0)
+        with pytest.raises(ValueError, match="buckets"):
+            LatencyHistogram(n_buckets=1)
+
+
+class TestPercentiles:
+    def test_upper_bound_contract(self):
+        """The estimate is >= the true percentile and <= 2x (factor=2)."""
+        hist = LatencyHistogram()
+        values = [i * 1e-4 for i in range(1, 101)]  # 0.1 ms .. 10 ms
+        for v in values:
+            hist.record(v)
+        for q in (50, 90, 99):
+            true = values[int(-(-q * len(values) // 100)) - 1]
+            estimate = hist.percentile(q)
+            assert estimate >= true - 1e-12
+            assert estimate <= 2.0 * true + 1e-12
+
+    def test_percentile_100_is_exact_max(self):
+        hist = LatencyHistogram()
+        for v in (0.002, 0.007, 0.0031):
+            hist.record(v)
+        assert hist.percentile(100) == pytest.approx(0.007)
+
+    def test_estimate_clamps_to_observed_max(self):
+        hist = LatencyHistogram()
+        hist.record(1.5e-6)  # lands in a bucket whose edge is 2e-6
+        assert hist.percentile(99) == pytest.approx(1.5e-6)
+
+    def test_single_value_all_percentiles(self):
+        hist = LatencyHistogram()
+        hist.record(0.005)
+        for q in (0, 1, 50, 99, 100):
+            assert hist.percentile(q) == pytest.approx(0.005)
+
+    def test_out_of_range_percentile_rejected(self):
+        hist = LatencyHistogram()
+        hist.record(0.001)
+        with pytest.raises(ValueError, match="percentile"):
+            hist.percentile(101)
+        with pytest.raises(ValueError, match="percentile"):
+            hist.percentile(-1)
+
+    def test_percentiles_map(self):
+        hist = LatencyHistogram()
+        for v in (0.001, 0.002, 0.003):
+            hist.record(v)
+        result = hist.percentiles((50, 99))
+        assert set(result) == {"p50", "p99"}
+        assert result["p99"] >= result["p50"]
+
+    def test_overflow_bucket_uses_exact_max(self):
+        """A duration beyond the last edge still reports a finite p99."""
+        hist = LatencyHistogram(n_buckets=2, start=1e-6)
+        hist.record(10.0)  # way past the single bounded edge
+        assert hist.percentile(99) == pytest.approx(10.0)
+
+
+class TestMergeAndSerialisation:
+    def test_merge_matches_combined_recording(self):
+        a, b, combined = (
+            LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        )
+        for v in (0.001, 0.005):
+            a.record(v)
+            combined.record(v)
+        for v in (0.0002, 0.02):
+            b.record(v)
+            combined.record(v)
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.count == combined.count
+        assert a.total == pytest.approx(combined.total)
+        assert a.min == pytest.approx(combined.min)
+        assert a.max == pytest.approx(combined.max)
+
+    def test_merge_rejects_mismatched_ladders(self):
+        a = LatencyHistogram(start=1e-6)
+        b = LatencyHistogram(start=1e-3)
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
+    def test_round_trip_preserves_statistics(self):
+        hist = LatencyHistogram()
+        for v in (0.0001, 0.004, 0.07):
+            hist.record(v)
+        payload = json.loads(json.dumps(hist.to_dict()))
+        back = LatencyHistogram.from_dict(payload)
+        assert back.counts == hist.counts
+        assert back.count == hist.count
+        assert back.mean == pytest.approx(hist.mean)
+        assert back.min == pytest.approx(hist.min)
+        assert back.max == pytest.approx(hist.max)
+        for q in (50, 90, 99):
+            assert back.percentile(q) == pytest.approx(hist.percentile(q))
+
+    def test_empty_round_trip(self):
+        back = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert back.count == 0
+        assert back.percentile(99) == 0.0
+        assert back.min == float("inf")
