@@ -52,6 +52,7 @@ from repro.experiments.report import generate_report, run_all_campaigns
 from repro.experiments.correlation import paper_correlations
 from repro.experiments.sensitivity import render_sensitivity, sweep_model_parameters
 from repro.experiments.runner import ExperimentConfig
+from repro.fsai.registry import selectable_methods
 from repro.experiments.tables import (
     extension_stats,
     setup_overhead,
@@ -147,10 +148,21 @@ def build_parser() -> argparse.ArgumentParser:
     rep = add("report", "full EXPERIMENTS.md regeneration", machine=False,
               parallel=True)
     rep.add_argument("--no-table1", action="store_true", help="omit the long Table 1")
-    add("campaign",
-        "orchestrated campaign on one machine: parallel workers, per-case "
-        "timeout/retry, JSONL checkpoint/resume; exits 1 on any failure",
-        parallel=True)
+    cam = add("campaign",
+              "orchestrated campaign on one machine: parallel workers, "
+              "per-case timeout/retry, JSONL checkpoint/resume; exits 1 on "
+              "any failure",
+              parallel=True)
+    cam.add_argument(
+        "--methods", nargs="+", default=None, metavar="NAME",
+        help="setup methods to run (default: fsaie_sp fsaie_full); any "
+             "selectable registry method, e.g. the global iterative routes "
+             "gsai_st / gsai_cheb / gsai_ns",
+    )
+    cam.add_argument(
+        "--global-sweeps", type=int, default=None, metavar="N",
+        help="sweep budget for the global iterative methods (default 30)",
+    )
     tr = sub.add_parser(
         "trace",
         help="run one case under repro.trace and emit JSON + Chrome-trace "
@@ -484,9 +496,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.resume and not args.checkpoint_dir:
             print("--resume requires --checkpoint-dir", file=sys.stderr)
             return 2
+        cfg_kwargs = {}
+        if args.methods is not None:
+            unknown = [
+                m for m in args.methods if m not in selectable_methods()
+            ]
+            if unknown:
+                print(
+                    f"unknown/unselectable method(s) {unknown}; choose from "
+                    f"{' '.join(selectable_methods())}",
+                    file=sys.stderr,
+                )
+                return 2
+            cfg_kwargs["methods"] = tuple(args.methods)
+        if args.global_sweeps is not None:
+            cfg_kwargs["global_sweeps"] = args.global_sweeps
         cfg = ExperimentConfig(
             machine=args.machine,
             setup_backend=getattr(args, "setup_backend", None),
+            **cfg_kwargs,
         )
         outcome = run_campaign_parallel(
             cfg,

@@ -49,6 +49,7 @@ from repro.collection.suite import MatrixCase, get_case, suite72
 from repro.errors import CampaignIncompleteError, ConfigurationError
 from repro.experiments.campaign import CampaignResult
 from repro.experiments.runner import CaseResult, ExperimentConfig, run_case
+from repro.fsai.registry import get_method
 from repro.kernels import ENV_VAR as KERNEL_BACKEND_ENV_VAR
 from repro.kernels import get_backend
 from repro.parallel.cost import estimate_case_seconds, order_cases_by_cost
@@ -490,7 +491,12 @@ def run_campaign_parallel(
         skipped = len(completed)
         reporter.skipped(skipped)
 
-    n_setups = len(config.methods) * len(config.filters) + 1
+    # Filter-sweeping methods run once per filter; global/baseline methods
+    # once per case; plus the FSAI baseline itself.
+    n_setups = 1 + sum(
+        len(config.filters) if get_method(m).uses_filter else 1
+        for m in config.methods
+    )
     todo = [
         c for c in order_cases_by_cost(cases, n_setups=n_setups)
         if c.case_id not in completed

@@ -25,10 +25,9 @@ from repro.fsai.extended import (
     FSAISetup,
     setup_fsai,
     setup_fsaie_full,
-    setup_fsaie_joint,
     setup_fsaie_random,
-    setup_fsaie_sp,
 )
+from repro.fsai.registry import get_method
 from repro.kernels import get_backend
 from repro.perf.costmodel import CostModel, KernelCost
 from repro.solvers.cg import pcg
@@ -39,12 +38,6 @@ __all__ = ["ExperimentConfig", "MethodRun", "CaseResult", "run_case", "make_rhs"
 
 #: Filter sweep of the paper's Tables 2/4/5.
 PAPER_FILTERS: Tuple[float, ...] = (0.0, 0.001, 0.01, 0.1)
-
-_SETUPS = {
-    "fsaie_sp": setup_fsaie_sp,
-    "fsaie_full": setup_fsaie_full,
-    "fsaie_joint": setup_fsaie_joint,
-}
 
 
 @dataclass(frozen=True)
@@ -61,6 +54,9 @@ class ExperimentConfig:
     rhs_seed: int = 2021
     precalc_rtol: float = 1e-2
     precalc_iterations: int = 20
+    #: Sweep budget for the global iterative methods (``gsai_*``); the
+    #: executed count per case lands in :attr:`MethodRun.sweeps`.
+    global_sweeps: int = 30
     include_random_baseline: bool = False
     #: FSAI setup backend (``None`` = resolve via ``$REPRO_KERNEL_BACKEND``,
     #: then ``"auto"``); legacy names ``bucketed``/``reference`` select the
@@ -82,6 +78,7 @@ class ExperimentConfig:
             "rhs_seed": self.rhs_seed,
             "precalc_rtol": self.precalc_rtol,
             "precalc_iterations": self.precalc_iterations,
+            "global_sweeps": self.global_sweeps,
             "include_random_baseline": self.include_random_baseline,
             "setup_backend": self.setup_backend,
         }
@@ -91,6 +88,9 @@ class ExperimentConfig:
         d = dict(payload)
         d["filters"] = tuple(d["filters"])
         d["methods"] = tuple(d["methods"])
+        # Pre-global-methods payloads (checkpoints, IPC from older shards)
+        # lack the sweep budget; the historical behaviour is the default.
+        d.setdefault("global_sweeps", cls.global_sweeps)
         return cls(**d)
 
     def config_hash(self) -> str:
@@ -119,6 +119,9 @@ class MethodRun:
     pct_nnz: float
     x_misses_per_g_nnz: float
     gflops: float
+    #: Global-iteration sweeps actually executed (``None`` for the local
+    #: Frobenius methods; threaded from :attr:`FSAISetup.sweeps`).
+    sweeps: Optional[int] = None
 
     def __repr__(self) -> str:
         f = "-" if self.filter_value is None else f"{self.filter_value:g}"
@@ -140,10 +143,12 @@ class MethodRun:
             "pct_nnz": self.pct_nnz,
             "x_misses_per_g_nnz": self.x_misses_per_g_nnz,
             "gflops": self.gflops,
+            "sweeps": self.sweeps,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "MethodRun":
+        # Older payloads predate ``sweeps``; the field default covers them.
         return cls(**payload)
 
 
@@ -156,7 +161,9 @@ class CaseResult:
     nnz: int
     machine: str
     baseline: MethodRun
-    runs: Dict[Tuple[str, float], MethodRun] = field(default_factory=dict)
+    runs: Dict[Tuple[str, Optional[float]], MethodRun] = field(
+        default_factory=dict
+    )
     #: Per-case span tree, set when the case ran under ``trace.collecting``
     #: (campaign artifacts then carry phase breakdowns; see docs/tracing.md).
     trace_summary: Optional[TraceSummary] = None
@@ -169,7 +176,7 @@ class CaseResult:
     #: way (inside the executing process, after env/auto resolution).
     setup_backend: Optional[str] = None
 
-    def get(self, method: str, filter_value: float) -> MethodRun:
+    def get(self, method: str, filter_value: Optional[float] = None) -> MethodRun:
         return self.runs[(method, filter_value)]
 
     def best_filter_run(self, method: str) -> MethodRun:
@@ -293,6 +300,7 @@ def _evaluate(
             pct_nnz=setup.nnz_increase_pct,
             x_misses_per_g_nnz=x_misses / setup.final_pattern.nnz,
             gflops=app_cost.gflops(),
+            sweeps=getattr(setup, "sweeps", None),
         )
 
 
@@ -348,18 +356,34 @@ def _run_case(
     )
     reference_full: Optional[FSAISetup] = None
     for method in config.methods:
-        setup_fn = _SETUPS[method]
-        for filter_value in config.filters:
-            setup = setup_fn(
-                a, placement,
-                filter_value=filter_value,
-                precalc_rtol=config.precalc_rtol,
-                precalc_iterations=config.precalc_iterations,
-                setup_backend=config.setup_backend,
+        spec = get_method(method)
+        if not spec.selectable:
+            raise ConfigurationError(
+                f"method {method!r} cannot be selected directly; "
+                f"use the dedicated config switch for it"
             )
-            if method == "fsaie_full" and filter_value == 0.01:
-                reference_full = setup
-            result.runs[(method, filter_value)] = _evaluate(
+        if spec.uses_filter:
+            for filter_value in config.filters:
+                setup = spec.builder(
+                    a, placement,
+                    filter_value=filter_value,
+                    precalc_rtol=config.precalc_rtol,
+                    precalc_iterations=config.precalc_iterations,
+                    setup_backend=config.setup_backend,
+                )
+                if method == "fsaie_full" and filter_value == 0.01:
+                    reference_full = setup
+                result.runs[(method, filter_value)] = _evaluate(
+                    a, b, setup, model, spmv_a_cost, config
+                )
+        else:
+            # Filter-free methods (baseline re-runs, global iterations)
+            # execute once per case under the key ``(method, None)``.
+            kwargs: Dict[str, object] = {"setup_backend": config.setup_backend}
+            if spec.uses_sweeps:
+                kwargs["sweeps"] = config.global_sweeps
+            setup = spec.builder(a, **kwargs)
+            result.runs[(method, None)] = _evaluate(
                 a, b, setup, model, spmv_a_cost, config
             )
 

@@ -24,6 +24,13 @@ Modules
 ``cache``
     Bounded LRU of built setups keyed on matrix content, so repeated
     solves against the same operator skip FSAI setup entirely.
+``global_iter``
+    Global iterative SAI routes (Salkuyeh–Toutounian minimal residual,
+    Chebyshev semi-iteration, pattern-capped Newton–Schulz) built on
+    capped SpGEMM sweeps.
+``registry``
+    The method registry: one catalogue mapping method names to builders
+    plus capability flags for the cache, runner and CLI.
 """
 
 from repro.fsai.patterns import fsai_initial_pattern
@@ -52,6 +59,22 @@ from repro.fsai.extended import (
     setup_fsaie_joint,
     setup_fsaie_random,
 )
+from repro.fsai.global_iter import (
+    GlobalIterInfo,
+    global_g_chebyshev,
+    global_g_minres,
+    global_g_newton_schulz,
+    setup_gsai_cheb,
+    setup_gsai_ns,
+    setup_gsai_st,
+)
+from repro.fsai.registry import (
+    MethodSpec,
+    available_methods,
+    get_method,
+    register_method,
+    selectable_methods,
+)
 
 __all__ = [
     "fsai_initial_pattern",
@@ -77,6 +100,18 @@ __all__ = [
     "setup_fsaie_full",
     "setup_fsaie_joint",
     "setup_fsaie_random",
+    "GlobalIterInfo",
+    "global_g_chebyshev",
+    "global_g_minres",
+    "global_g_newton_schulz",
+    "setup_gsai_cheb",
+    "setup_gsai_ns",
+    "setup_gsai_st",
+    "MethodSpec",
+    "available_methods",
+    "get_method",
+    "register_method",
+    "selectable_methods",
 ]
 
 # Dynamic-pattern (FSPAI) comparator — §8 composability.

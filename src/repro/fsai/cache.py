@@ -198,26 +198,17 @@ def cached_setup(
 ) -> Any:
     """FSAI setup through the cache: build once per (matrix, method, kwargs).
 
-    ``method`` names one of the end-to-end setups in
-    :mod:`repro.fsai.extended` (``"fsai"``, ``"fsaie_sp"``,
-    ``"fsaie_full"``, ``"fsaie_joint"``, ``"fsaie_random"``); ``kwargs``
-    are forwarded to it verbatim and participate in the cache key.
+    ``method`` names any method in the registry
+    (:func:`repro.fsai.registry.available_methods`): the local setups of
+    :mod:`repro.fsai.extended` and the global iterative routes of
+    :mod:`repro.fsai.global_iter` alike; ``kwargs`` are forwarded to the
+    builder verbatim and participate in the cache key.  Unknown names
+    raise :class:`~repro.errors.ConfigurationError` (a ``ValueError``).
     """
-    from repro.fsai import extended
+    from repro.fsai.registry import get_method
 
-    builders: Dict[str, Callable[..., Any]] = {
-        "fsai": extended.setup_fsai,
-        "fsaie_sp": extended.setup_fsaie_sp,
-        "fsaie_full": extended.setup_fsaie_full,
-        "fsaie_joint": extended.setup_fsaie_joint,
-        "fsaie_random": extended.setup_fsaie_random,
-    }
-    if method not in builders:
-        raise ValueError(
-            f"unknown FSAI setup method {method!r}; "
-            f"expected one of {sorted(builders)}"
-        )
+    spec = get_method(method)
     target = cache if cache is not None else _DEFAULT_CACHE
     return target.get_or_build(
-        a, lambda: builders[method](a, **kwargs), method=method, config=kwargs,
+        a, lambda: spec.builder(a, **kwargs), method=method, config=kwargs,
     )

@@ -65,8 +65,11 @@ class FSAISetup:
     Attributes
     ----------
     method:
+        A name from the method registry (:mod:`repro.fsai.registry`):
         ``"fsai"`` / ``"fsaie_sp"`` / ``"fsaie_full"`` / ``"fsaie_joint"`` /
-        ``"fsaie_random"``.
+        ``"fsaie_random"`` here, or one of the global iterative methods
+        built in :mod:`repro.fsai.global_iter` (``"gsai_st"`` /
+        ``"gsai_cheb"`` / ``"gsai_ns"``).
     application:
         The solver-facing preconditioner.
     base_pattern:
@@ -74,10 +77,14 @@ class FSAISetup:
     final_pattern:
         Pattern of the computed ``G``.
     flops:
-        Per-phase flop ledger (keys: ``precalc1``, ``precalc2``, ``direct``);
-        the cost model maps the total to setup seconds.
+        Per-phase flop ledger (keys: ``precalc1``, ``precalc2``, ``direct``,
+        or ``global`` for the iterative methods); the cost model maps the
+        total to setup seconds.
     filter_value:
         Filter parameter used (``None`` for the baseline).
+    sweeps:
+        Global-iteration sweeps actually executed (``None`` for the local
+        Frobenius methods, which have no sweep notion).
     """
 
     method: str
@@ -86,6 +93,7 @@ class FSAISetup:
     final_pattern: Pattern
     flops: Dict[str, int] = field(default_factory=dict)
     filter_value: Optional[float] = None
+    sweeps: Optional[int] = None
 
     @property
     def g(self) -> CSRMatrix:

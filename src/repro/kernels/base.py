@@ -63,17 +63,32 @@ from __future__ import annotations
 
 import warnings
 from abc import ABC, abstractmethod
-from typing import Any, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 import numpy as np
 
+from repro import trace
 from repro.kernels.setup import (
     gather_group_stack,
     run_fsai_setup,
     solve_group_stack,
 )
+from repro.kernels.spgemm import SpgemmPlan, plan_spgemm, spgemm_numeric
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import would be circular
+    from repro.sparse.pattern import Pattern
 
 __all__ = ["KernelBackend", "KernelInputWarning", "coerce_operand"]
+
+
+def _pattern_view(m: Any) -> "Pattern":
+    """Structure view of a duck-typed CSR operand (no validation copy)."""
+    from repro.sparse.pattern import Pattern
+
+    pattern = getattr(m, "pattern", None)
+    if isinstance(pattern, Pattern):
+        return pattern
+    return Pattern(m.n_rows, m.n_cols, m.indptr, m.indices, _validated=True)
 
 
 class KernelInputWarning(UserWarning):
@@ -269,6 +284,77 @@ class KernelBackend(ABC):
         # column back-substitution.  Overrides must replay the same
         # per-element operation sequence (see solve_group_stack).
         return solve_group_stack(systems)
+
+    # ------------------------------------------------------------------
+    # SpGEMM — sparse × sparse products (setup-side, pattern-capped)
+    # ------------------------------------------------------------------
+    def spgemm(self, a: Any, b: Any, *, cap: Optional[Pattern] = None):
+        """``A @ B`` over CSR operands, optionally capped to ``cap``.
+
+        Runs both phases of the two-pass SpGEMM: the symbolic plan
+        (:func:`repro.kernels.spgemm.plan_spgemm`) and the backend's
+        numeric phase, returning a :class:`~repro.sparse.csr.CSRMatrix`
+        on the product pattern — or on exactly ``cap``, with explicit
+        zeros where no product lands (see the cap semantics in
+        :mod:`repro.kernels.spgemm`).  Iterative callers multiplying on
+        fixed structure should bind :meth:`spgemm_op` instead, which
+        amortises the symbolic phase across products.
+        """
+        a_data = coerce_operand(a.data, name="a.data", ndim=1)
+        b_data = coerce_operand(b.data, name="b.data", ndim=1)
+        plan = plan_spgemm(_pattern_view(a), _pattern_view(b), cap=cap)
+        with trace.span(
+            "spgemm",
+            backend=self.name,
+            rows=plan.out.n_rows,
+            nnz_out=plan.out.nnz,
+            products=plan.n_products,
+            capped=plan.capped,
+        ):
+            data = self._spgemm_numeric(plan, a_data, b_data)
+        from repro.sparse.csr import CSRMatrix
+
+        return CSRMatrix.from_pattern(plan.out, data)
+
+    def spgemm_op(
+        self,
+        a_pattern: Optional[Pattern] = None,
+        b_pattern: Optional[Pattern] = None,
+        *,
+        cap: Optional[Pattern] = None,
+        plan: Optional[SpgemmPlan] = None,
+    ):
+        """Return ``op(a_data, b_data) -> data`` with the symbolic phase bound.
+
+        The global SAI sweeps multiply on the *same* pattern pair dozens
+        of times per setup; the bound handle runs :func:`plan_spgemm`
+        once and every call is then pure numeric work.  Pass ``plan`` to
+        reuse an already-built plan (it wins over the pattern arguments);
+        the plan is exposed as ``op.plan`` for flop accounting.  Like the
+        other bound handles, ``op`` skips per-call validation and opens
+        no trace span.
+        """
+        if plan is None:
+            if a_pattern is None or b_pattern is None:
+                raise ValueError(
+                    "spgemm_op needs either a prebuilt plan or both patterns"
+                )
+            plan = plan_spgemm(a_pattern, b_pattern, cap=cap)
+
+        def op(a_data: np.ndarray, b_data: np.ndarray) -> np.ndarray:
+            return self._spgemm_numeric(plan, a_data, b_data)
+
+        op.plan = plan
+        return op
+
+    def _spgemm_numeric(
+        self, plan: SpgemmPlan, a_data: np.ndarray, b_data: np.ndarray
+    ) -> np.ndarray:
+        # Default: the canonical vectorised gather-multiply-bincount
+        # pass in the plan's Gustavson order.  Overrides must either
+        # replay that accumulation order exactly (numba) or are held to
+        # 1e-13 dense agreement instead (the reference oracle).
+        return spgemm_numeric(plan, a_data, b_data)
 
     # ------------------------------------------------------------------
     # Implementation hooks (operands pre-validated, ``out`` allocated)

@@ -24,6 +24,12 @@ exactly, compiled with ``error_model="numpy"`` so non-SPD pivots
 propagate NaN/inf IEEE-style instead of raising mid-kernel — the driver's
 batched pivot check owns the diagnostics.  Output is byte-identical to
 the numpy and reference backends.
+
+The SpGEMM numeric phase is row-parallel Gustavson over a prebuilt
+symbolic plan: each thread owns one output row (no scatter races), finds
+output slots by binary search into the row's sorted columns, and
+accumulates products in the plan's canonical order — byte-identical to
+the numpy backend's bincount pass.
 """
 
 from __future__ import annotations
@@ -198,6 +204,39 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
                 x[i, s] = xl[i]
 
     @njit(parallel=True)
+    def _spgemm_numeric_kernel(a_indptr, a_indices, a_data,
+                               b_indptr, b_indices, b_data,
+                               out_indptr, out_indices, out_data):
+        # Row-parallel Gustavson: each thread owns one output row, so
+        # there are no scatter races.  Per product the value is formed
+        # with a single multiply and added immediately — the same
+        # per-slot accumulation order as the plan's bincount pass (A-row
+        # entry order, then B-row order), hence byte-identical output.
+        # Output slots are found by binary search in the sorted out row;
+        # capped plans drop products whose column is absent.
+        for i in prange(len(a_indptr) - 1):
+            lo = out_indptr[i]
+            hi = out_indptr[i + 1]
+            for p in range(lo, hi):
+                out_data[p] = 0.0
+            if hi == lo:
+                continue
+            for e in range(a_indptr[i], a_indptr[i + 1]):
+                v = a_data[e]
+                k = a_indices[e]
+                for f in range(b_indptr[k], b_indptr[k + 1]):
+                    col = b_indices[f]
+                    left, right = lo, hi
+                    while left < right:
+                        mid = (left + right) // 2
+                        if out_indices[mid] < col:
+                            left = mid + 1
+                        else:
+                            right = mid
+                    if left < hi and out_indices[left] == col:
+                        out_data[left] += v * b_data[f]
+
+    @njit(parallel=True)
     def _stacked_matvec_kernel(a_stack, d_stack, out):
         m, k = d_stack.shape
         for i in prange(m):
@@ -253,6 +292,16 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
             _fsai_apply_multi_kernel(g.indptr, g.indices, g.data,
                                      np.ascontiguousarray(r), out, tmp)
             return out
+
+        def _spgemm_numeric(self, plan: Any, a_data: np.ndarray,
+                            b_data: np.ndarray) -> np.ndarray:
+            out_data = np.empty(plan.out.nnz)
+            _spgemm_numeric_kernel(
+                plan.a_pattern.indptr, plan.a_pattern.indices, a_data,
+                plan.b_pattern.indptr, plan.b_pattern.indices, b_data,
+                plan.out.indptr, plan.out.indices, out_data,
+            )
+            return out_data
 
         def _fsai_setup_build(self, keys, a_data, n_cols, indptr, indices,
                               rows_parts, group, K) -> np.ndarray:

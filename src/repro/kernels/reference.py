@@ -61,6 +61,22 @@ class ReferenceBackend(KernelBackend):
     # bincount order, which is what makes this backend the multi-RHS
     # agreement oracle too.
 
+    def _spgemm_numeric(self, plan: Any, a_data: np.ndarray,
+                        b_data: np.ndarray) -> np.ndarray:
+        # Dense oracle: materialise both operands, multiply with BLAS,
+        # gather at the output pattern.  Deliberately ignores the plan's
+        # product enumeration — an independent derivation the sparse
+        # numeric phases are property-tested against (1e-13, not bits).
+        dense_a = np.zeros(plan.a_pattern.shape)
+        rows, cols = plan.a_pattern.coo()
+        dense_a[rows, cols] = a_data
+        dense_b = np.zeros(plan.b_pattern.shape)
+        rows, cols = plan.b_pattern.coo()
+        dense_b[rows, cols] = b_data
+        product = dense_a @ dense_b
+        rows, cols = plan.out.coo()
+        return np.ascontiguousarray(product[rows, cols])
+
     def _fsai_setup_solve(self, systems: np.ndarray) -> np.ndarray:
         # Scalar transcription of solve_group_stack, one system at a
         # time: every per-element operation (the ascending-t update

@@ -13,16 +13,23 @@ then :data:`DEFAULT_TOLERANCE`.
 
 Usage (the ``bench-gate`` CI job)::
 
-    python -m repro.perf.bench_gate baseline.json BENCH_engine.json
+    python -m repro.perf.bench_gate baseline.json BENCH_engine.json \
+        --json gate-report.json
+
+``--json`` additionally writes the full report — tolerance, per-component
+verdicts, missing components — as a machine-readable file, which CI
+uploads as a workflow artifact so a tripped gate can be inspected without
+re-running the bench.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.perf.regression import RegressionRecord
 
@@ -89,6 +96,29 @@ class GateReport:
         out.append("  PASS" if self.ok else "  GATE FAILED")
         return out
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able report (the ``--json`` artifact CI uploads)."""
+        return {
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "verdicts": [
+                {
+                    "name": v.name,
+                    "baseline_speedup": v.baseline_speedup,
+                    "current_speedup": v.current_speedup,
+                    "ratio": v.ratio,
+                    "ok": v.ok,
+                }
+                for v in self.verdicts
+            ],
+            "missing": list(self.missing),
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
 
 def resolve_tolerance(flag: Optional[float] = None) -> float:
     """Flag > ``REPRO_BENCH_TOLERANCE`` env > default; must be positive."""
@@ -153,11 +183,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help=f"minimum current/baseline speedup ratio "
              f"(default ${TOLERANCE_ENV} or {DEFAULT_TOLERANCE})",
     )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the report (verdicts + tolerance) as JSON",
+    )
     args = parser.parse_args(argv)
     baseline = RegressionRecord.load(args.baseline)
     current = RegressionRecord.load(args.current)
     report = compare_records(baseline, current, tolerance=args.tolerance)
     print("\n".join(report.lines()))
+    if args.json:
+        report.write_json(args.json)
     return 0 if report.ok else 1
 
 

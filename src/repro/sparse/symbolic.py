@@ -2,13 +2,13 @@
 
 These implement step 1-2 of the paper's Algorithm 1: threshold ``A`` into
 ``Ã`` and take the pattern of ``Ã^N`` (the *sparse level* ``N`` of the
-preconditioner).  The pattern product is computed row-by-row with vectorised
-set unions — the classic Gustavson symbolic phase without the numeric phase.
+preconditioner).  The pattern product is the classic Gustavson symbolic
+phase without the numeric phase, delegated to the shared SpGEMM planner
+(:mod:`repro.kernels.spgemm`) — one vectorised product expansion instead
+of a Python loop of per-row set unions.
 """
 
 from __future__ import annotations
-
-from typing import List
 
 import numpy as np
 
@@ -29,23 +29,12 @@ def pattern_multiply(a: Pattern, b: Pattern) -> Pattern:
     """Pattern of the product ``A @ B`` (symbolic sparse GEMM).
 
     Row ``i`` of the result is the union of the rows ``b[k]`` over the column
-    indices ``k`` present in ``a`` row ``i``.
+    indices ``k`` present in ``a`` row ``i``, computed by the vectorised
+    SpGEMM symbolic phase (:func:`repro.kernels.spgemm.spgemm_pattern`).
     """
-    if a.n_cols != b.n_rows:
-        raise ShapeError(f"inner dimensions disagree: {a.shape} x {b.shape}")
-    indptr = np.zeros(a.n_rows + 1, dtype=np.int64)
-    chunks: List[np.ndarray] = []
-    for i in range(a.n_rows):
-        ks = a.row(i)
-        if len(ks) == 0:
-            indptr[i + 1] = indptr[i]
-            continue
-        pieces = [b.indices[b.indptr[k]: b.indptr[k + 1]] for k in ks]
-        merged = np.unique(np.concatenate(pieces)) if pieces else np.empty(0, np.int64)
-        chunks.append(merged)
-        indptr[i + 1] = indptr[i] + len(merged)
-    indices = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-    return Pattern(a.n_rows, b.n_cols, indptr, indices, _validated=True)
+    from repro.kernels.spgemm import spgemm_pattern
+
+    return spgemm_pattern(a, b)
 
 
 def pattern_power(p: Pattern, n: int) -> Pattern:
