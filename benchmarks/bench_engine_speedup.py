@@ -46,8 +46,17 @@ Components (each timed as min over repetitions, §7.1 style):
   recorded in the component detail).  A deeper fixed iteration budget
   than ``pcg_multi_rhs`` keeps the dispatcher's fixed per-request cost
   (admission, futures, metrics) a small fraction of each solve.
+* ``serve_throughput_mp`` — the same stream through the fingerprint-
+  sharded 4-worker pool (``repro.serve.pool`` over the shared-memory
+  operator store) vs the single-process dispatcher.  The >= 2x floor
+  (``MIN_SERVE_MP_SPEEDUP``) is asserted only on hosts with >= 4 CPU
+  cores — on fewer cores the workers time-slice one CPU and the ratio
+  measures scheduling overhead, not scaling — but the component is
+  always timed and recorded so the artifact shows the host's actual
+  multi-process behaviour.
 """
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -68,7 +77,7 @@ from repro.kernels import get_backend
 from repro.kernels.spgemm import plan_spgemm
 from repro.perf.regression import RegressionComponent, RegressionRecord
 from repro.perf.timer import min_over_repetitions
-from repro.serve import InProcessClient
+from repro.serve import InProcessClient, MultiProcessClient
 from repro.solvers.cg import pcg, pcg_multi
 
 CASE_IDS = BENCH_CASE_IDS or tuple(c.case_id for c in suite72())
@@ -134,6 +143,16 @@ SERVE_ITERATIONS = 100
 
 #: Requests per operator in the serving stream (total = x len(grids)).
 SERVE_REQUESTS_PER_OP = 64
+
+#: Worker count for the multi-process serving component (ISSUE 9).
+SERVE_MP_WORKERS = 4
+
+#: Acceptance floor for the 4-worker pool over the single-process
+#: dispatcher — asserted only when the host actually has >= 4 cores
+#: (``SERVE_MP_GATE_CORES``); below that the workers share one CPU and
+#: the honest expectation is parity at best.
+MIN_SERVE_MP_SPEEDUP = 2.0
+SERVE_MP_GATE_CORES = 4
 
 #: Batching window for the serving component; generous relative to the
 #: stream burst so batch assembly is bounded by ``max_batch``, not time.
@@ -530,6 +549,79 @@ def test_engine_speedup(benchmark, capsys):
         ),
     ))
 
+    # Multi-process serving component: the identical stream, single-
+    # process dispatcher (reference) vs the fingerprint-sharded
+    # 4-worker pool (optimized).  Both clients stay live across the
+    # interleaved repetitions so worker spawn and operator publication
+    # are one-time setup, exactly like a long-running service.
+    sp_client = InProcessClient(
+        window_seconds=SERVE_WINDOW_SECONDS,
+        max_batch=SERVE_REQUESTS_PER_OP,
+        queue_capacity=4 * SERVE_REQUESTS_PER_OP * len(serve_mats),
+    )
+    sp_client.start()
+    mp_client = MultiProcessClient(
+        SERVE_MP_WORKERS,
+        window_seconds=SERVE_WINDOW_SECONDS,
+        max_batch=SERVE_REQUESTS_PER_OP,
+        queue_capacity=4 * SERVE_REQUESTS_PER_OP * len(serve_mats),
+    )
+    mp_client.start()
+    try:
+        sp_fps = [sp_client.register(a) for a in serve_mats]
+        mp_fps = [mp_client.register(a) for a in serve_mats]
+        sp_stream = [
+            (fp, cols[j])
+            for j in range(SERVE_REQUESTS_PER_OP)
+            for fp, cols in zip(sp_fps, serve_cols)
+        ]
+        mp_stream = [
+            (fp, cols[j])
+            for j in range(SERVE_REQUESTS_PER_OP)
+            for fp, cols in zip(mp_fps, serve_cols)
+        ]
+
+        def serve_sp():
+            sp_client.solve_many(
+                sp_stream, rtol=0.0, max_iterations=SERVE_ITERATIONS
+            )
+
+        def serve_mp():
+            mp_client.solve_many(
+                mp_stream, rtol=0.0, max_iterations=SERVE_ITERATIONS
+            )
+
+        n_cores = os.cpu_count() or 1
+        mp_gated = n_cores >= SERVE_MP_GATE_CORES
+        timed_mp = _component(
+            "serve_throughput_mp", "", serve_sp, serve_mp,
+            repetitions=REPETITIONS,
+            floor=MIN_SERVE_MP_SPEEDUP if mp_gated else None,
+        )
+        mp_snapshot = mp_client.snapshot()
+    finally:
+        mp_client.close()
+        sp_client.close()
+    mp_rhs_per_sec = len(mp_stream) / timed_mp.optimized_seconds
+    components.append(RegressionComponent(
+        name=timed_mp.name,
+        reference_seconds=timed_mp.reference_seconds,
+        optimized_seconds=timed_mp.optimized_seconds,
+        detail=(
+            f"{len(mp_stream)} requests, {SERVE_MP_WORKERS}-worker "
+            f"fingerprint-sharded pool vs single-process dispatcher on "
+            f"{n_cores} core(s); pool {mp_rhs_per_sec:.0f} rhs/sec, "
+            f"mean batch {mp_snapshot['mean_batch_size']:.1f}, "
+            f"respawns {mp_snapshot['respawns']}; "
+            + (
+                f">= {MIN_SERVE_MP_SPEEDUP:.0f}x gate armed"
+                if mp_gated else
+                f">= {MIN_SERVE_MP_SPEEDUP:.0f}x gate waived "
+                f"(needs >= {SERVE_MP_GATE_CORES} cores)"
+            )
+        ),
+    ))
+
     # One traced pass over the optimized composite: the record then carries
     # a per-phase breakdown next to the timings (ISSUE 3 observability).
     with trace.collecting() as collector:
@@ -585,6 +677,21 @@ def test_engine_speedup(benchmark, capsys):
         f"serve_throughput speedup {by_name['serve_throughput'].speedup:.2f}x "
         f"fell below {MIN_SERVE_SPEEDUP:.1f}x — see {ARTIFACT}"
     )
+    # Pool health is asserted unconditionally; the scaling floor only
+    # where the host can physically provide it.
+    assert mp_snapshot["respawns"] == 0, (
+        f"{mp_snapshot['respawns']} worker respawn(s) during the "
+        f"serve_throughput_mp windows — workers are crashing under load"
+    )
+    if mp_gated:
+        assert (
+            by_name["serve_throughput_mp"].speedup >= MIN_SERVE_MP_SPEEDUP
+        ), (
+            "serve_throughput_mp speedup "
+            f"{by_name['serve_throughput_mp'].speedup:.2f}x fell below "
+            f"{MIN_SERVE_MP_SPEEDUP:.1f}x at {SERVE_MP_WORKERS} workers "
+            f"on {n_cores} cores — see {ARTIFACT}"
+        )
     assert (
         by_name["fsai_setup_parallel"].speedup >= MIN_SETUP_PARALLEL_SPEEDUP
     ), (

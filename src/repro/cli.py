@@ -214,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
              "with HTTP 429 (default 128)",
     )
     sv.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="serve from a fingerprint-sharded pool of N worker "
+             "processes (shared-memory operator store); 0 = in-process "
+             "dispatcher (default)",
+    )
+    sv.add_argument(
         "--cases", type=int, nargs="*", default=None,
         help="pre-register these Table 1 suite operators at startup",
     )
@@ -244,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bs.add_argument("--max-batch", type=int, default=32)
     bs.add_argument("--queue-capacity", type=int, default=256)
+    bs.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="bench the N-worker multi-process pool instead of the "
+             "in-process dispatcher (default 0 = in-process)",
+    )
     bs.add_argument(
         "--overload-burst", type=int, default=48,
         help="burst size for the forced-overload phase; 0 disables it",
@@ -326,12 +337,17 @@ def _serve(args) -> int:
     """Run the stdlib HTTP front door until interrupted."""
     from repro.serve.client import InProcessClient
     from repro.serve.http import make_server
+    from repro.serve.pool import MultiProcessClient
 
-    client = InProcessClient(
+    client_kwargs = dict(
         window_seconds=args.window_ms / 1e3,
         max_batch=args.max_batch,
         queue_capacity=args.queue_capacity,
     )
+    if args.workers > 0:
+        client = MultiProcessClient(args.workers, **client_kwargs)
+    else:
+        client = InProcessClient(**client_kwargs)
     client.start()
     try:
         for case_id in args.cases or []:
@@ -347,8 +363,12 @@ def _serve(args) -> int:
         )
         try:
             host, port = server.server_address[0], server.server_address[1]
+            front = (
+                f"{args.workers}-worker pool" if args.workers > 0
+                else "in-process dispatcher"
+            )
             print(
-                f"serving on http://{host}:{port} "
+                f"serving on http://{host}:{port} via {front} "
                 f"(window {args.window_ms}ms, max batch {args.max_batch}, "
                 f"queue {args.queue_capacity}; Ctrl-C to stop)",
                 file=sys.stderr,
@@ -377,6 +397,7 @@ def _bench_serve(args) -> int:
         overload_burst=args.overload_burst,
         baseline=not args.no_baseline,
         min_speedup=args.min_speedup,
+        workers=args.workers,
     )
     if args.grids:
         kwargs["grids"] = tuple(args.grids)

@@ -72,6 +72,13 @@ class OverloadRejectedError(ServeError, RuntimeError):
         #: Configured bound of the admission queue that was full.
         self.queue_capacity = queue_capacity
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)`` with
+        # ``args=(message,)`` only — the worker pool ships these across
+        # process boundaries, so the extra constructor argument must ride
+        # along explicitly.
+        return (type(self), (self.args[0], self.queue_capacity))
+
 
 class RequestTimeoutError(ServeError, TimeoutError):
     """A request's deadline expired while it waited to be dispatched.
@@ -84,6 +91,33 @@ class RequestTimeoutError(ServeError, TimeoutError):
         super().__init__(message)
         #: How long the request had been queued when it was expired.
         self.waited_seconds = waited_seconds
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.waited_seconds))
+
+
+class WorkerCrashedError(ServeError, RuntimeError):
+    """A pool worker died while this request was in flight on its shard.
+
+    Raised by :class:`repro.serve.pool.MultiProcessClient` for every
+    request routed to a worker that exited abnormally.  The pool respawns
+    the shard immediately, so the error is **retryable**: resubmitting the
+    same request reaches the replacement worker (same fingerprint, same
+    shard — routing is deterministic while the pool size is fixed).
+    """
+
+    #: Clients may resubmit: the shard is respawned with its operators
+    #: re-attached from the shared store.
+    retryable = True
+
+    def __init__(self, message: str, shard: int) -> None:
+        super().__init__(message)
+        #: Shard id of the worker that died (also the routing target the
+        #: retried request will land on).
+        self.shard = shard
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.shard))
 
 
 class UnknownOperatorError(ServeError, KeyError):

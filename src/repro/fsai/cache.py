@@ -44,7 +44,12 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro import trace
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["PreconditionerCache", "cached_setup", "default_cache"]
+__all__ = [
+    "PreconditionerCache",
+    "cached_setup",
+    "config_key",
+    "default_cache",
+]
 
 #: Default bound: a campaign touches a handful of operators at a time;
 #: each cached setup holds a factor of roughly the matrix's size, so the
@@ -52,10 +57,18 @@ __all__ = ["PreconditionerCache", "cached_setup", "default_cache"]
 DEFAULT_CAPACITY = 8
 
 
-def _config_key(config: Optional[Dict[str, Any]]) -> str:
-    """Canonical hash of the setup kwargs (order-insensitive, stable)."""
+def config_key(config: Optional[Dict[str, Any]]) -> str:
+    """Canonical hash of the setup kwargs (order-insensitive, stable).
+
+    Public because the multi-process pool (:mod:`repro.serve.pool`) must
+    reconstruct the exact cache key ``(fingerprint, method, config_key)``
+    when seeding a respawned worker's cache from a published factor.
+    """
     payload = json.dumps(config or {}, sort_keys=True, default=repr)
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+_config_key = config_key  # backwards-compatible private alias
 
 
 class PreconditionerCache:
@@ -77,10 +90,16 @@ class PreconditionerCache:
         #: In-flight builds: key -> event set when the leader finishes
         #: (successfully or not).  Guarded by ``_lock``.
         self._pending: Dict[Tuple[str, str, str], threading.Event] = {}
+        #: Eviction pins: matrix fingerprint -> live attachment count.
+        #: An entry whose fingerprint is pinned is never evicted — workers
+        #: hold zero-copy shared-memory views into its operator, and LRU
+        #: pressure must not invalidate them.  Guarded by ``_lock``.
+        self._pins: Dict[str, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.coalesced = 0
+        self.deferred_evictions = 0
 
     def get_or_build(
         self,
@@ -105,7 +124,7 @@ class PreconditionerCache:
         retries from the top and becomes the new leader — waiting never
         returns a stale or missing entry.
         """
-        key = (a.fingerprint(), method, _config_key(config))
+        key = (a.fingerprint(), method, config_key(config))
         while True:
             with self._lock:
                 entry = self._entries.get(key, None)
@@ -140,12 +159,76 @@ class PreconditionerCache:
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-                trace.add_counter("fsai.cache_evict")
+            self._evict_over_capacity_locked()
         self._finish(key)
         return value
+
+    def _evict_over_capacity_locked(self) -> None:
+        """Evict LRU-first down to capacity, skipping pinned fingerprints.
+
+        When every over-capacity candidate is pinned, eviction is
+        *deferred*: the cache temporarily exceeds its bound rather than
+        invalidating a worker's live shared-memory views, and
+        :meth:`unpin` re-enforces the bound on the last detach.
+        """
+        while len(self._entries) > self.capacity:
+            victim = next(
+                (k for k in self._entries if k[0] not in self._pins), None
+            )
+            if victim is None:
+                self.deferred_evictions += 1
+                trace.add_counter("fsai.cache_evict_deferred")
+                return
+            del self._entries[victim]
+            self.evictions += 1
+            trace.add_counter("fsai.cache_evict")
+
+    # ------------------------------------------------------------------
+    # Shared-memory attachment pins (see repro.serve.shm / .pool)
+    # ------------------------------------------------------------------
+    def pin(self, fingerprint: str) -> None:
+        """Protect every entry of ``fingerprint`` from eviction (refcounted)."""
+        with self._lock:
+            self._pins[fingerprint] = self._pins.get(fingerprint, 0) + 1
+
+    def unpin(self, fingerprint: str) -> None:
+        """Drop one pin; the last unpin re-enforces the capacity bound."""
+        with self._lock:
+            refs = self._pins.get(fingerprint, 0) - 1
+            if refs > 0:
+                self._pins[fingerprint] = refs
+            else:
+                self._pins.pop(fingerprint, None)
+                self._evict_over_capacity_locked()
+
+    def pin_count(self, fingerprint: str) -> int:
+        with self._lock:
+            return self._pins.get(fingerprint, 0)
+
+    # ------------------------------------------------------------------
+    # Cross-process factor adoption (see repro.serve.pool)
+    # ------------------------------------------------------------------
+    def seed(self, key: Tuple[str, str, str], value: Any) -> bool:
+        """Insert a pre-built setup under an explicit key; True if stored.
+
+        Used by pool workers to adopt a factor another process already
+        built and published into the shared store — the cross-process
+        leg of the single-flight contract: the key is built once
+        anywhere, then seeded everywhere.  Idempotent: an existing entry
+        wins and ``False`` is returned.
+        """
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._evict_over_capacity_locked()
+            return True
+
+    def entries(self) -> "Dict[Tuple[str, str, str], Any]":
+        """Point-in-time snapshot of cached ``key -> setup`` pairs."""
+        with self._lock:
+            return dict(self._entries)
 
     def _finish(self, key: Tuple[str, str, str]) -> None:
         """Release waiters parked on ``key`` (leader done, well or badly)."""
@@ -161,7 +244,9 @@ class PreconditionerCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "deferred_evictions": self.deferred_evictions,
                 "coalesced": self.coalesced,
+                "pinned": len(self._pins),
                 "size": len(self._entries),
                 "capacity": self.capacity,
             }

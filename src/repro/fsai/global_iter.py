@@ -12,7 +12,13 @@ reaches the same factor by iterating on the whole-matrix equations
 where ``P_S`` is the projection onto pattern ``S``.  Every sweep is one
 or two **pattern-capped SpGEMMs** on fixed structure, so the symbolic
 phase is planned once (:func:`repro.kernels.spgemm.plan_spgemm`) and
-each sweep is pure numeric work through a bound ``spgemm_op`` handle.
+each sweep is pure numeric work into preallocated buffers through the
+backend's fused sweep hooks (``spgemm_numeric_into`` +
+``sweep_axpy_pair`` / ``sweep_cheb_update`` / ``sweep_ns_correction``)
+— on the numba backend the capped product and the iterate update run in
+one row-parallel pass without materialising the intermediate product
+array; the numpy defaults keep the historical expressions byte for
+byte.
 
 Why (★) targets exactly the FSAI factor: a row ``x_i`` supported on
 ``S_i`` satisfies ``(x_i A)|_{S_i} = x_i[S_i] · A[S_i, S_i]``, so the
@@ -191,27 +197,28 @@ def global_g_minres(
     _validate(a, pattern, sweeps, rtol)
     kb = _kernel_backend(backend)
     plan = plan_spgemm(pattern, a.pattern, cap=pattern)
-    op = kb.spgemm_op(plan=plan)
     rhs = _identity_rhs(pattern)
     rhs_norm = float(np.sqrt(rhs @ rhs))
     x = _jacobi_seed(a, pattern)
+    w = np.empty(pattern.nnz)
+    r = np.empty(pattern.nnz)
     with trace.span(
         "fsai.global_iter", method="gsai_st",
         rows=pattern.n_rows, nnz=pattern.nnz, max_sweeps=sweeps,
     ):
-        r = rhs - op(x, a.data)
+        kb.spgemm_numeric_into(plan, x, a.data, w)
+        np.subtract(rhs, w, out=r)
         done = 0
         res = float(np.sqrt(r @ r))
         for _ in range(sweeps):
             if res <= rtol * rhs_norm or not np.isfinite(res):
                 break
-            w = op(r, a.data)
+            kb.spgemm_numeric_into(plan, r, a.data, w)
             denom = float(w @ w)
             if denom <= 0.0 or not np.isfinite(denom):
                 break
             alpha = float(r @ w) / denom
-            x += alpha * r
-            r -= alpha * w
+            kb.sweep_axpy_pair(x, r, w, alpha)
             done += 1
             res = float(np.sqrt(r @ r))
         trace.set_attr("sweeps", done)
@@ -257,10 +264,11 @@ def global_g_chebyshev(
             f"need 0 < lambda_lo < lambda_hi, got [{lo:g}, {hi:g}]"
         )
     plan = plan_spgemm(pattern, a.pattern, cap=pattern)
-    op = kb.spgemm_op(plan=plan)
     rhs = _identity_rhs(pattern)
     rhs_norm = float(np.sqrt(rhs @ rhs))
     x = _jacobi_seed(a, pattern)
+    w = np.empty(pattern.nnz)
+    r = np.empty(pattern.nnz)
     theta = (hi + lo) / 2.0
     delta = (hi - lo) / 2.0
     sigma = theta / delta
@@ -268,7 +276,8 @@ def global_g_chebyshev(
         "fsai.global_iter", method="gsai_cheb",
         rows=pattern.n_rows, nnz=pattern.nnz, max_sweeps=sweeps,
     ):
-        r = rhs - op(x, a.data)
+        kb.spgemm_numeric_into(plan, x, a.data, w)
+        np.subtract(rhs, w, out=r)
         rho = 1.0 / sigma
         d = r / theta
         done = 0
@@ -276,12 +285,13 @@ def global_g_chebyshev(
         for _ in range(sweeps):
             if res <= rtol * rhs_norm or not np.isfinite(res):
                 break
-            x += d
-            r -= op(d, a.data)
+            kb.sweep_cheb_update(plan, d, a.data, x, r, w)
             done += 1
             res = float(np.sqrt(r @ r))
             rho_next = 1.0 / (2.0 * sigma - rho)
-            d = (rho_next * rho) * d + (2.0 * rho_next / delta) * r
+            kb.sweep_scale_add(
+                d, r, rho_next * rho, 2.0 * rho_next / delta
+            )
             rho = rho_next
         trace.set_attr("sweeps", done)
         trace.set_attr("residual", res)
@@ -318,8 +328,6 @@ def global_g_newton_schulz(
     kb = _kernel_backend(backend)
     plan_xa = plan_spgemm(pattern, a.pattern, cap=pattern)
     plan_zx = plan_spgemm(pattern, pattern, cap=pattern)
-    op_xa = kb.spgemm_op(plan=plan_xa)
-    op_zx = kb.spgemm_op(plan=plan_zx)
     rhs = _identity_rhs(pattern)
     rhs_norm = float(np.sqrt(rhs @ rhs))
     diag = a.diagonal()
@@ -328,7 +336,12 @@ def global_g_newton_schulz(
     mu = float(np.max(_row_abs_sums(a) * ratios)) if a.n_rows else 1.0
     mu = max(mu, 1.0)
     x = _jacobi_seed(a, pattern, scale=2.0 / (1.0 + mu))
-    best = x
+    # Double-buffered iterate (the fused correction writes x_next while
+    # reading x) plus one scratch buffer for the capped Z·X product.
+    z = np.empty(pattern.nnz)
+    x_next = np.empty(pattern.nnz)
+    scratch = np.empty(pattern.nnz)
+    best = x.copy()
     best_res = np.inf
     with trace.span(
         "fsai.global_iter", method="gsai_ns",
@@ -337,16 +350,19 @@ def global_g_newton_schulz(
         done = 0
         res = np.inf
         for _ in range(sweeps):
-            z = op_xa(x, a.data)
-            res = float(np.linalg.norm(rhs - z))
+            kb.spgemm_numeric_into(plan_xa, x, a.data, z)
+            np.subtract(rhs, z, out=scratch)
+            res = float(np.linalg.norm(scratch))
             if res < best_res:
-                best, best_res = x, res
+                np.copyto(best, x)
+                best_res = res
             if res <= rtol * rhs_norm or not np.isfinite(res):
                 break
             if res > 2.0 * best_res:
                 # Capped map is diverging; keep the best iterate seen.
                 break
-            x = 2.0 * x - op_zx(z, x)
+            kb.sweep_ns_correction(plan_zx, z, x, x_next, scratch)
+            x, x_next = x_next, x
             done += 1
         trace.set_attr("sweeps", done)
         trace.set_attr("residual", best_res)

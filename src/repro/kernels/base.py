@@ -356,6 +356,88 @@ class KernelBackend(ABC):
         # 1e-13 dense agreement instead (the reference oracle).
         return spgemm_numeric(plan, a_data, b_data)
 
+    def spgemm_numeric_into(
+        self,
+        plan: SpgemmPlan,
+        a_data: np.ndarray,
+        b_data: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Numeric phase written into a caller buffer.
+
+        The global-SAI sweep loops call this dozens of times per setup
+        with preallocated buffers; backends whose numeric kernel already
+        writes in place (numba) override it to skip the copy.  Values
+        are byte-identical to :meth:`_spgemm_numeric`.
+        """
+        np.copyto(out, self._spgemm_numeric(plan, a_data, b_data))
+        return out
+
+    # ------------------------------------------------------------------
+    # Fused global-iteration sweep updates (see repro.fsai.global_iter)
+    # ------------------------------------------------------------------
+    # Each default below is the exact numpy expression the sweep loops
+    # historically ran — overrides must stay byte-identical to it (the
+    # cross-backend identity suite in tests/kernels/test_sweep_fused.py
+    # pins this with tobytes() comparisons).  The numba backend fuses
+    # each update with the capped SpGEMM row loop so the sweep touches
+    # the pattern arrays once instead of materialising the intermediate
+    # product and re-traversing it.
+
+    def sweep_axpy_pair(
+        self,
+        x: np.ndarray,
+        r: np.ndarray,
+        w: np.ndarray,
+        alpha: float,
+    ) -> None:
+        """Minimal-residual sweep update ``x += αr; r -= αw`` in place."""
+        x += alpha * r
+        r -= alpha * w
+
+    def sweep_scale_add(
+        self, d: np.ndarray, r: np.ndarray, c0: float, c1: float
+    ) -> None:
+        """Chebyshev direction update ``d = c0·d + c1·r`` in place."""
+        d *= c0
+        d += c1 * r
+
+    def sweep_cheb_update(
+        self,
+        plan: SpgemmPlan,
+        d: np.ndarray,
+        b_data: np.ndarray,
+        x: np.ndarray,
+        r: np.ndarray,
+        w: np.ndarray,
+    ) -> None:
+        """Chebyshev sweep core ``x += d; r -= P_S(D·A)`` (``w`` scratch).
+
+        ``plan`` must be the factor-equation plan (a/out patterns are
+        both the factor pattern ``S``); ``b_data`` is ``A``'s data.
+        """
+        x += d
+        self.spgemm_numeric_into(plan, d, b_data, w)
+        r -= w
+
+    def sweep_ns_correction(
+        self,
+        plan: SpgemmPlan,
+        z: np.ndarray,
+        x: np.ndarray,
+        x_next: np.ndarray,
+        scratch: np.ndarray,
+    ) -> np.ndarray:
+        """Newton–Schulz correction ``x_next = 2x − P_S(Z·X)``.
+
+        ``x_next`` must not alias ``x`` or ``scratch``; all three share
+        the factor pattern's data layout.
+        """
+        self.spgemm_numeric_into(plan, z, x, scratch)
+        np.multiply(x, 2.0, out=x_next)
+        np.subtract(x_next, scratch, out=x_next)
+        return x_next
+
     # ------------------------------------------------------------------
     # Implementation hooks (operands pre-validated, ``out`` allocated)
     # ------------------------------------------------------------------

@@ -237,6 +237,83 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
                         out_data[left] += v * b_data[f]
 
     @njit(parallel=True)
+    def _sweep_axpy_kernel(alpha, x, r, w):
+        # Fused x += alpha*r; r -= alpha*w — one traversal instead of two
+        # numpy passes plus two temporaries.  No fastmath, so the
+        # multiply/add pair is never contracted into an FMA and the
+        # result stays byte-identical to the numpy expressions.
+        for i in prange(len(x)):
+            x[i] += alpha * r[i]
+            r[i] -= alpha * w[i]
+
+    @njit(parallel=True)
+    def _sweep_scale_add_kernel(d, r, c0, c1):
+        for i in prange(len(d)):
+            d[i] = d[i] * c0 + c1 * r[i]
+
+    @njit(parallel=True)
+    def _sweep_cheb_kernel(s_indptr, s_indices, d,
+                           b_indptr, b_indices, b_data, x, r, w):
+        # One row-parallel pass fusing the Chebyshev sweep core:
+        # x += d, then r -= P_S(D·A) with the capped product accumulated
+        # into the row's slice of ``w`` while it is cache-resident —
+        # the full product array is never re-traversed.  Accumulation
+        # replays the plan's Gustavson order (A-row entry order, then
+        # B-row order, slot by binary search), so each w slot equals the
+        # bincount pass bit-for-bit, and r -= w is the same subtraction
+        # the unfused path performs.
+        for i in prange(len(s_indptr) - 1):
+            lo = s_indptr[i]
+            hi = s_indptr[i + 1]
+            for p in range(lo, hi):
+                x[p] += d[p]
+                w[p] = 0.0
+            for e in range(lo, hi):
+                v = d[e]
+                k = s_indices[e]
+                for f in range(b_indptr[k], b_indptr[k + 1]):
+                    col = b_indices[f]
+                    left, right = lo, hi
+                    while left < right:
+                        mid = (left + right) // 2
+                        if s_indices[mid] < col:
+                            left = mid + 1
+                        else:
+                            right = mid
+                    if left < hi and s_indices[left] == col:
+                        w[left] += v * b_data[f]
+            for p in range(lo, hi):
+                r[p] -= w[p]
+
+    @njit(parallel=True)
+    def _sweep_ns_kernel(s_indptr, s_indices, z, x, x_next, scratch):
+        # Fused Newton–Schulz correction x_next = 2x − P_S(Z·X): the
+        # capped product row accumulates into the scratch slice in plan
+        # order, then the correction finalises the row in cache.  All
+        # four arrays share the factor pattern S's data layout.
+        for i in prange(len(s_indptr) - 1):
+            lo = s_indptr[i]
+            hi = s_indptr[i + 1]
+            for p in range(lo, hi):
+                scratch[p] = 0.0
+            for e in range(lo, hi):
+                v = z[e]
+                k = s_indices[e]
+                for f in range(s_indptr[k], s_indptr[k + 1]):
+                    col = s_indices[f]
+                    left, right = lo, hi
+                    while left < right:
+                        mid = (left + right) // 2
+                        if s_indices[mid] < col:
+                            left = mid + 1
+                        else:
+                            right = mid
+                    if left < hi and s_indices[left] == col:
+                        scratch[left] += v * x[f]
+            for p in range(lo, hi):
+                x_next[p] = 2.0 * x[p] - scratch[p]
+
+    @njit(parallel=True)
     def _stacked_matvec_kernel(a_stack, d_stack, out):
         m, k = d_stack.shape
         for i in prange(m):
@@ -302,6 +379,55 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
                 plan.out.indptr, plan.out.indices, out_data,
             )
             return out_data
+
+        def spgemm_numeric_into(self, plan: Any, a_data: np.ndarray,
+                                b_data: np.ndarray,
+                                out: np.ndarray) -> np.ndarray:
+            # The numeric kernel already writes in place; forwarding the
+            # caller's buffer skips the per-sweep allocation + copy.
+            _spgemm_numeric_kernel(
+                plan.a_pattern.indptr, plan.a_pattern.indices, a_data,
+                plan.b_pattern.indptr, plan.b_pattern.indices, b_data,
+                plan.out.indptr, plan.out.indices, out,
+            )
+            return out
+
+        def sweep_axpy_pair(self, x: np.ndarray, r: np.ndarray,
+                            w: np.ndarray, alpha: float) -> None:
+            _sweep_axpy_kernel(alpha, x, r, w)
+
+        def sweep_scale_add(self, d: np.ndarray, r: np.ndarray,
+                            c0: float, c1: float) -> None:
+            _sweep_scale_add_kernel(d, r, c0, c1)
+
+        def sweep_cheb_update(self, plan: Any, d: np.ndarray,
+                              b_data: np.ndarray, x: np.ndarray,
+                              r: np.ndarray, w: np.ndarray) -> None:
+            # The fused kernel assumes the factor-equation plan shape
+            # (out pattern is the A operand's pattern S); any other plan
+            # falls back to the unfused default.
+            if plan.out is not plan.a_pattern:
+                super().sweep_cheb_update(plan, d, b_data, x, r, w)
+                return
+            _sweep_cheb_kernel(
+                plan.a_pattern.indptr, plan.a_pattern.indices, d,
+                plan.b_pattern.indptr, plan.b_pattern.indices, b_data,
+                x, r, w,
+            )
+
+        def sweep_ns_correction(self, plan: Any, z: np.ndarray,
+                                x: np.ndarray, x_next: np.ndarray,
+                                scratch: np.ndarray) -> np.ndarray:
+            # Requires the Newton–Schulz plan shape (a, b and out
+            # patterns all the factor pattern S).
+            if plan.out is not plan.a_pattern or plan.out is not plan.b_pattern:
+                return super().sweep_ns_correction(
+                    plan, z, x, x_next, scratch
+                )
+            _sweep_ns_kernel(
+                plan.out.indptr, plan.out.indices, z, x, x_next, scratch
+            )
+            return x_next
 
         def _fsai_setup_build(self, keys, a_data, n_cols, indptr, indices,
                               rows_parts, group, K) -> np.ndarray:

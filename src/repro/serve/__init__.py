@@ -18,6 +18,12 @@ Usage (in-process, no network)::
         res = client.solve(fp, b, rtol=1e-8)    # batched behind the scenes
         print(res.iterations, res.batch_size, res.latency_seconds)
 
+Multi-process scaling: :class:`repro.serve.pool.MultiProcessClient`
+shards operators across worker processes by fingerprint, keeping one
+copy of each CSR payload in the shared-memory store of
+:mod:`repro.serve.shm` — ``MultiProcessClient(4)`` is a drop-in for
+``InProcessClient`` at the request surface.
+
 An optional stdlib-HTTP front door lives in :mod:`repro.serve.http`
 (``repro-fsai serve``); the core never needs it.
 """
@@ -26,13 +32,18 @@ from repro.serve.client import InProcessClient
 from repro.serve.dispatcher import SolverService
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.operators import OperatorEntry, OperatorRegistry
+from repro.serve.pool import MultiProcessClient, shard_for
 from repro.serve.request import ServeResult
+from repro.serve.shm import SharedOperatorStore
 
 __all__ = [
     "InProcessClient",
+    "MultiProcessClient",
     "OperatorEntry",
     "OperatorRegistry",
     "ServeResult",
     "ServiceMetrics",
+    "SharedOperatorStore",
     "SolverService",
+    "shard_for",
 ]

@@ -192,6 +192,16 @@ class InProcessClient:
     def snapshot(self) -> dict:
         return self.service.metrics.snapshot()
 
+    # The two registry views below complete the client protocol the HTTP
+    # front door codes against (see ``repro.serve.http.ServingClient``),
+    # so it serves identically over this client and the multi-process
+    # pool client.
+    def operator_fingerprints(self) -> List[str]:
+        return self.service.registry.fingerprints()
+
+    def operator_count(self) -> int:
+        return len(self.service.registry)
+
 
 def _as_stream(
     operators: Sequence[str], blocks: Sequence[np.ndarray]

@@ -137,6 +137,7 @@ class SolverService:
         window_seconds: float = DEFAULT_WINDOW_SECONDS,
         max_batch: int = DEFAULT_MAX_BATCH,
         solver: Optional[BlockSolver] = None,
+        shard_id: Optional[int] = None,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
@@ -150,6 +151,10 @@ class SolverService:
         self.window_seconds = float(window_seconds)
         self.max_batch = int(max_batch)
         self.metrics = ServiceMetrics()
+        #: Pool shard this service runs (None outside multi-process mode);
+        #: stamped on ``serve.batch`` spans so merged traces attribute
+        #: work to shards.
+        self.shard_id = shard_id
         self._solver: BlockSolver = solver if solver is not None else _default_solver
         self._queue: "Optional[asyncio.Queue[Any]]" = None
         self._task: "Optional[asyncio.Task[None]]" = None
@@ -412,12 +417,12 @@ class SolverService:
         requests: List[PendingRequest],
     ) -> Tuple[List[SolveResult], bool]:
         _, rtol, atol, max_iterations = key
-        with trace.span(
-            "serve.batch",
-            operator=key[0][:12],
-            k=len(requests),
-            method=entry.method,
-        ):
+        span_attrs: Dict[str, Any] = dict(
+            operator=key[0][:12], k=len(requests), method=entry.method
+        )
+        if self.shard_id is not None:
+            span_attrs["shard"] = self.shard_id
+        with trace.span("serve.batch", **span_attrs):
             trace.add_counter("serve.batches")
             trace.add_counter("serve.batch_rhs", len(requests))
             hits_before = self.cache.hits

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple, Type, cast
+from typing import Any, Dict, List, Optional, Protocol, Tuple, Type, cast
 
 from repro.errors import (
     OverloadRejectedError,
@@ -34,17 +34,46 @@ from repro.errors import (
     ServeError,
     ServiceClosedError,
     UnknownOperatorError,
+    WorkerCrashedError,
 )
-from repro.serve.client import InProcessClient
+from repro.serve.request import ServeResult
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["ServiceHTTPServer", "make_server"]
+__all__ = ["ServingClient", "ServiceHTTPServer", "make_server"]
 
-#: ServeError subclass -> HTTP status.
+
+class ServingClient(Protocol):
+    """What the front door needs from a client — nothing more.
+
+    Both :class:`repro.serve.client.InProcessClient` (one dispatcher,
+    this process) and :class:`repro.serve.pool.MultiProcessClient`
+    (fingerprint-sharded worker pool) satisfy it, so ``--workers N``
+    swaps the backend without touching a route.
+    """
+
+    def register(
+        self, matrix: CSRMatrix, *, method: str = ..., **config: Any
+    ) -> str: ...
+
+    def solve(
+        self, operator: Any, rhs: Any, **kwargs: Any
+    ) -> ServeResult: ...
+
+    def snapshot(self) -> Dict[str, Any]: ...
+
+    def operator_fingerprints(self) -> List[str]: ...
+
+    def operator_count(self) -> int: ...
+
+
+#: ServeError subclass -> HTTP status.  A crashed worker maps to 503
+#: (retryable, like a stopped service) — the shard is already
+#: respawning, so a client retry is expected to succeed.
 _STATUS: Dict[Type[BaseException], int] = {
     OverloadRejectedError: 429,
     UnknownOperatorError: 404,
     RequestTimeoutError: 408,
+    WorkerCrashedError: 503,
     ServiceClosedError: 503,
 }
 
@@ -108,14 +137,14 @@ class _Handler(BaseHTTPRequestHandler):
                 200,
                 {
                     "status": "ok",
-                    "operators": len(client.service.registry),
+                    "operators": client.operator_count(),
                 },
             )
         elif self.path == "/metrics":
             self._send(200, client.snapshot())
         elif self.path == "/operators":
             self._send(
-                200, {"operators": client.service.registry.fingerprints()}
+                200, {"operators": client.operator_fingerprints()}
             )
         else:
             self._send(404, {"error": f"no route {self.path}"})
@@ -180,14 +209,14 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server bound to one :class:`InProcessClient`."""
+    """Threading HTTP server bound to one :class:`ServingClient`."""
 
     daemon_threads = True
 
     def __init__(
         self,
         address: Tuple[str, int],
-        client: InProcessClient,
+        client: ServingClient,
         *,
         verbose: bool = False,
     ) -> None:
@@ -197,7 +226,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
 
 def make_server(
-    client: InProcessClient,
+    client: ServingClient,
     host: str = "127.0.0.1",
     port: int = 0,
     *,

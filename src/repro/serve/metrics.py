@@ -86,6 +86,77 @@ class ServiceMetrics:
             self.failed += 1
 
     # ------------------------------------------------------------------
+    # Merging and serialisation (multi-process pool support)
+    # ------------------------------------------------------------------
+    _COUNTER_FIELDS = (
+        "submitted",
+        "rejected",
+        "timeouts",
+        "solved",
+        "failed",
+        "batches",
+        "batched_rhs",
+        "cache_hits",
+        "cache_misses",
+    )
+    _HISTOGRAM_FIELDS = ("latency", "queue_wait", "solve_seconds")
+
+    def merge(self, other: "ServiceMetrics") -> None:
+        """Fold another instance's counters and histograms into this one.
+
+        Used by the worker pool to combine per-shard metrics into one
+        client-visible view.  Counters add; ``queue_high_water`` takes the
+        max (depths on different shards are not additive); histograms
+        merge bucket-wise.  Associative and commutative, so merge order
+        across shards does not matter.
+        """
+        with self._lock:
+            for name in self._COUNTER_FIELDS:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+            self.queue_high_water = max(
+                self.queue_high_water, other.queue_high_water
+            )
+            for name in self._HISTOGRAM_FIELDS:
+                getattr(self, name).merge(getattr(other, name))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-able form (full histograms, not just percentiles).
+
+        Unlike :meth:`snapshot` this round-trips through
+        :meth:`from_dict` without losing bucket counts, so merged results
+        are identical whether the merge happens before or after the trip
+        across a process boundary.
+        """
+        with self._lock:
+            payload: Dict[str, Any] = {
+                name: getattr(self, name) for name in self._COUNTER_FIELDS
+            }
+            payload["queue_high_water"] = self.queue_high_water
+            for name in self._HISTOGRAM_FIELDS:
+                payload[name] = getattr(self, name).to_dict()
+            return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ServiceMetrics":
+        metrics = cls()
+        for name in cls._COUNTER_FIELDS:
+            setattr(metrics, name, int(payload[name]))
+        metrics.queue_high_water = int(payload["queue_high_water"])
+        for name in cls._HISTOGRAM_FIELDS:
+            setattr(metrics, name, LatencyHistogram.from_dict(payload[name]))
+        return metrics
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Locks do not pickle; ship the counters and histograms only.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
     @property

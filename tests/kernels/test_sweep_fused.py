@@ -1,0 +1,142 @@
+"""Fused global-iteration sweep hooks: byte-identity across backends.
+
+The global-SAI sweeps (``repro.fsai.global_iter``) run through four
+backend hooks — ``spgemm_numeric_into`` plus ``sweep_axpy_pair`` /
+``sweep_cheb_update`` / ``sweep_ns_correction`` (and the scalar
+recurrence ``sweep_scale_add``) — so the numba backend can fuse the
+capped SpGEMM with the iterate update in one row-parallel pass.  The
+contract pinned here:
+
+* every exact backend's hook output is byte-identical to the naive
+  numpy expressions the sweeps historically ran (the dense-oracle
+  reference backend is exempt from SpGEMM exactness, as elsewhere);
+* ``spgemm_numeric_into`` writes the caller's buffer and matches the
+  allocating numeric phase bit-for-bit;
+* the three end-to-end global iterations produce byte-identical factor
+  data on every exact backend (the cross-backend identity gate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.collection.generators.fd import poisson2d
+from repro.fsai.global_iter import (
+    global_g_chebyshev,
+    global_g_minres,
+    global_g_newton_schulz,
+)
+from repro.fsai.patterns import fsai_initial_pattern
+from repro.kernels import available_backends, get_backend
+from repro.kernels.spgemm import plan_spgemm
+
+BACKENDS = available_backends()
+EXACT_BACKENDS = tuple(b for b in BACKENDS if b != "reference")
+
+GLOBAL_METHODS = [
+    ("gsai_st", global_g_minres),
+    ("gsai_cheb", global_g_chebyshev),
+    ("gsai_ns", global_g_newton_schulz),
+]
+
+
+def _factor_setup(nx=10, level=2):
+    """A matrix, its factor pattern and both sweep plans."""
+    a = poisson2d(nx)
+    pattern = fsai_initial_pattern(a, level=level, threshold=0.0)
+    plan_xa = plan_spgemm(pattern, a.pattern, cap=pattern)
+    plan_zx = plan_spgemm(pattern, pattern, cap=pattern)
+    return a, pattern, plan_xa, plan_zx
+
+
+def _pattern_vectors(pattern, seed, count):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(pattern.nnz) for _ in range(count)]
+
+
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+def test_spgemm_numeric_into_matches_allocating_phase(backend):
+    kb = get_backend(backend)
+    a, pattern, plan_xa, _ = _factor_setup()
+    (x,) = _pattern_vectors(pattern, 0, 1)
+    out = np.full(pattern.nnz, np.nan)  # poison: every slot must be written
+    ret = kb.spgemm_numeric_into(plan_xa, x, a.data, out)
+    assert ret is out
+    expected = kb.spgemm_op(plan=plan_xa)(x, a.data)
+    assert out.tobytes() == expected.tobytes()
+
+
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+def test_sweep_axpy_pair_matches_numpy_expressions(backend):
+    kb = get_backend(backend)
+    _, pattern, _, _ = _factor_setup()
+    x, r, w = _pattern_vectors(pattern, 1, 3)
+    alpha = 0.731
+    x_ref, r_ref = x.copy(), r.copy()
+    x_ref += alpha * r_ref
+    r_ref -= alpha * w
+    kb.sweep_axpy_pair(x, r, w, alpha)
+    assert x.tobytes() == x_ref.tobytes()
+    assert r.tobytes() == r_ref.tobytes()
+
+
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+def test_sweep_scale_add_matches_numpy_expressions(backend):
+    kb = get_backend(backend)
+    _, pattern, _, _ = _factor_setup()
+    d, r = _pattern_vectors(pattern, 2, 2)
+    c0, c1 = 0.37, -1.29
+    d_ref = c0 * d + c1 * r  # the historical allocating form
+    kb.sweep_scale_add(d, r, c0, c1)
+    assert d.tobytes() == d_ref.tobytes()
+
+
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+def test_sweep_cheb_update_matches_unfused_pass(backend):
+    kb = get_backend(backend)
+    a, pattern, plan_xa, _ = _factor_setup()
+    d, x, r = _pattern_vectors(pattern, 3, 3)
+    x_ref, r_ref = x.copy(), r.copy()
+    x_ref += d
+    r_ref -= kb.spgemm_op(plan=plan_xa)(d, a.data)
+    w = np.empty(pattern.nnz)
+    kb.sweep_cheb_update(plan_xa, d, a.data, x, r, w)
+    assert x.tobytes() == x_ref.tobytes()
+    assert r.tobytes() == r_ref.tobytes()
+    # The scratch buffer holds the capped product (the fused kernel
+    # accumulates into it row by row).
+    assert w.tobytes() == kb.spgemm_op(plan=plan_xa)(d, a.data).tobytes()
+
+
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+def test_sweep_ns_correction_matches_unfused_pass(backend):
+    kb = get_backend(backend)
+    _, pattern, _, plan_zx = _factor_setup()
+    z, x = _pattern_vectors(pattern, 4, 2)
+    expected = 2.0 * x - kb.spgemm_op(plan=plan_zx)(z, x)
+    x_next = np.full(pattern.nnz, np.nan)
+    scratch = np.empty(pattern.nnz)
+    ret = kb.sweep_ns_correction(plan_zx, z, x, x_next, scratch)
+    assert ret is x_next
+    assert x_next.tobytes() == expected.tobytes()
+
+
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+@pytest.mark.parametrize("method,iterate", GLOBAL_METHODS)
+def test_global_iterations_byte_identical_across_backends(
+    backend, method, iterate
+):
+    """End-to-end cross-backend identity for all three global methods.
+
+    ``rtol=0.0`` forces the full sweep budget so every hook runs many
+    times; in environments without numba this degenerates to numpy vs
+    numpy (still a useful determinism check), while CI's kernel lane
+    exercises the fused numba path against the numpy reference.
+    """
+    a = poisson2d(12)
+    pattern = fsai_initial_pattern(a, level=1, threshold=0.0)
+    data_ref, info_ref = iterate(a, pattern, sweeps=9, rtol=0.0,
+                                 backend="numpy")
+    data, info = iterate(a, pattern, sweeps=9, rtol=0.0, backend=backend)
+    assert data.tobytes() == data_ref.tobytes(), (method, backend)
+    assert info.sweeps == info_ref.sweeps
+    assert info.residual == info_ref.residual
