@@ -52,13 +52,23 @@ def weak_entry_mask(g: CSRMatrix, filter_value: float) -> np.ndarray:
     Diagonal entries are never weak.  ``filter_value = 0`` marks only exact
     zeros (matching the paper's ``filter = 0.0`` configuration, which keeps
     every extension entry that carries any value at all).
+
+    ``g`` must be square: the test compares each entry against its
+    *column's* diagonal magnitude, which does not exist for a column
+    beyond the last row.  A non-square ``g`` raises
+    :class:`~repro.errors.ShapeError` (historically the column index was
+    silently clamped to the last row, misclassifying those entries).
     """
     if filter_value < 0:
         raise ValueError("filter must be non-negative")
+    if g.n_rows != g.n_cols:
+        raise ShapeError(
+            f"weak-entry classification needs a square G, got {g.shape}"
+        )
     rows = g.row_ids()
     cols = g.indices
     d = _diag_magnitudes(g)
-    scale = d[np.minimum(cols, len(d) - 1)]
+    scale = d[cols]
     weak = np.abs(g.data) <= filter_value * scale
     weak &= rows != cols
     if filter_value == 0:
@@ -129,6 +139,16 @@ def standard_post_filter(
     The rescaling recomputes each row norm ``g_i^T A[S,S] g_i`` on the
     filtered support and divides by its square root, restoring
     ``diag(G A G^T) = 1`` — but *not* Frobenius minimality.
+
+    The row norms are computed as a grouped quadratic-form kernel: rows
+    of equal filtered length share one vectorised
+    :meth:`~repro.sparse.csr.CSRMatrix.gather_entries` of their
+    ``A[S_i, S_i]`` blocks (chunked so the ``(m, k, k)`` stack stays
+    cache-bounded) and one batched ``g^T A g`` contraction.  The BLAS
+    contraction order differs from the historical per-row
+    ``vals @ (local @ vals)`` in final ulps; the diagnostics are
+    unchanged — the first offending row in ascending order is reported,
+    empty rows before non-positive norms.
     """
     if g.shape != a.shape:
         raise ShapeError("G and A shapes disagree")
@@ -141,16 +161,36 @@ def standard_post_filter(
     filtered = g._masked(~weak)
 
     # Rescale rows: (G A G^T)_ii = g_i^T A[S_i,S_i] g_i on the new support.
-    data = filtered.data.copy()
-    for i in range(filtered.n_rows):
-        lo, hi = filtered.indptr[i], filtered.indptr[i + 1]
-        cols = filtered.indices[lo:hi]
-        vals = filtered.data[lo:hi]
-        if len(cols) == 0:
+    indptr = filtered.indptr
+    lengths = np.diff(indptr)
+    quads = np.zeros(filtered.n_rows)  # an empty row keeps 0.0 → flagged below
+    for k in np.unique(lengths):
+        k = int(k)
+        if k == 0:
+            continue
+        rows_k = np.flatnonzero(lengths == k)
+        # Cap each gathered (m, k, k) stack at ~2^22 elements (32 MB).
+        step = max(1, (1 << 22) // (k * k))
+        offsets = np.arange(k)
+        for c0 in range(0, len(rows_k), step):
+            rows_c = rows_k[c0:c0 + step]
+            span = indptr[rows_c][:, None] + offsets
+            cols_c = filtered.indices[span]          # (m, k)
+            vals_c = filtered.data[span]             # (m, k)
+            shape = (len(rows_c), k, k)
+            local = a.gather_entries(
+                np.broadcast_to(cols_c[:, :, None], shape),
+                np.broadcast_to(cols_c[:, None, :], shape),
+            )
+            av = np.matmul(local, vals_c[:, :, None])[:, :, 0]
+            quads[rows_c] = np.einsum("mi,mi->m", vals_c, av)
+    bad = quads <= 0  # NaN propagates into the data exactly as before
+    if bad.any():
+        i = int(np.flatnonzero(bad)[0])
+        if lengths[i] == 0:
             raise PatternError(f"row {i} lost all entries during filtering")
-        local = a.submatrix(cols, cols)
-        quad = float(vals @ (local @ vals))
-        if quad <= 0:
-            raise PatternError(f"row {i}: non-positive norm {quad:.3e} after filter")
-        data[lo:hi] = vals / np.sqrt(quad)
+        raise PatternError(
+            f"row {i}: non-positive norm {quads[i]:.3e} after filter"
+        )
+    data = filtered.data / np.repeat(np.sqrt(quads), lengths)
     return filtered.with_data(data)

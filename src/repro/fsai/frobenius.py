@@ -32,7 +32,7 @@ from repro import trace
 from repro._typing import FloatArray, IndexArray
 from repro.errors import NotSPDError, PatternError, ShapeError
 from repro.kernels import ENV_VAR as KERNEL_ENV_VAR
-from repro.kernels import get_backend, use_backend
+from repro.kernels import get_backend
 from repro.kernels.base import KernelBackend
 from repro.solvers.direct import solve_spd_batched, solve_spd_stacked
 from repro.solvers.local_cg import (
@@ -324,12 +324,14 @@ def precalculate_g(
     then simply keeps that row's extension decisions conservative rather
     than aborting setup.
 
-    ``backend`` resolves exactly as in :func:`compute_g`.  The truncated
-    CG needs the full symmetric local systems (for the stacked matvec),
-    so kernel-registry names keep the bucketed gather and run its
-    lockstep CG with the selected backend's ``stacked_matvec``; the
-    legacy names behave as before.  All paths are value-identical for a
-    given ``stacked_matvec`` implementation.
+    ``backend`` resolves exactly as in :func:`compute_g`.  Kernel-registry
+    names run the ``fsai_precalc`` kernel op — the truncated CG batched
+    over the same identity-padded row-length groups as the exact setup,
+    byte-identical across kernel backends (see
+    :mod:`repro.kernels.precalc`).  The legacy names behave bit-for-bit
+    as before; the op path agrees with them at the level that matters to
+    §5 (the filtered pattern selected downstream), not bitwise — the
+    legacy lockstep CG reduces in a different summation order.
     """
     _check_pattern(a, pattern)
     kind, resolved = _resolve_setup_backend(backend)
@@ -343,6 +345,7 @@ def precalculate_g(
             )
         if kind == "kernel":
             assert isinstance(resolved, KernelBackend)
+            lengths = _check_diagonals(pattern)
             with trace.span(
                 "fsai_setup",
                 backend=resolved.name,
@@ -351,8 +354,11 @@ def precalculate_g(
                 nnz=pattern.nnz,
                 mode="precalc",
             ):
-                with use_backend(resolved.name):
-                    return _precalc_bucketed(a, pattern, rtol, max_iterations)
+                data = resolved.fsai_precalc(
+                    a, pattern, rtol=rtol,
+                    max_iterations=max_iterations, lengths=lengths,
+                )
+            return CSRMatrix.from_pattern(pattern, data)
         if resolved == "reference":
             systems, rhs = gather_local_systems(a, pattern)
             solutions = solve_spd_approximate_batched(

@@ -68,6 +68,7 @@ from typing import TYPE_CHECKING, Any, Optional, Tuple
 import numpy as np
 
 from repro import trace
+from repro.kernels.precalc import run_fsai_precalc, solve_precalc_stack
 from repro.kernels.setup import (
     gather_group_stack,
     run_fsai_setup,
@@ -284,6 +285,36 @@ class KernelBackend(ABC):
         # column back-substitution.  Overrides must replay the same
         # per-element operation sequence (see solve_group_stack).
         return solve_group_stack(systems)
+
+    def fsai_precalc(
+        self, a: Any, pattern: Any, *, rtol: float, max_iterations: int,
+        lengths=None,
+    ) -> np.ndarray:
+        """Truncated-CG estimate data for ``pattern`` (the §5 precalc op).
+
+        Runs the batched truncated CG on the same identity-padded groups
+        as :meth:`fsai_setup` and returns the ``pattern.nnz`` data array
+        of the *approximate* normalised factor used by the filtering
+        step (see :mod:`repro.kernels.precalc` for the iteration
+        schedule and determinism contract).  The driver is shared;
+        backends reuse :meth:`_fsai_setup_build` for the gather and
+        override :meth:`_fsai_precalc_solve` (the masked batched CG) —
+        every backend's output is byte-identical.
+
+        Breakdowns never raise: rows whose truncated estimate is not
+        positive fall back to the Jacobi guess.  ``lengths`` is the
+        caller's validated row-length array (recomputed when omitted).
+        """
+        return run_fsai_precalc(
+            self, a, pattern, rtol, max_iterations, lengths=lengths
+        )
+
+    def _fsai_precalc_solve(
+        self, systems: np.ndarray, rtol: float, max_iterations: int
+    ) -> np.ndarray:
+        # Default: the canonical batched masked CG.  Overrides must
+        # replay the same per-element schedule (see solve_precalc_stack).
+        return solve_precalc_stack(systems, rtol, max_iterations)
 
     # ------------------------------------------------------------------
     # SpGEMM — sparse × sparse products (setup-side, pattern-capped)

@@ -23,7 +23,11 @@ operation order replays :func:`repro.kernels.setup.solve_group_stack`
 exactly, compiled with ``error_model="numpy"`` so non-SPD pivots
 propagate NaN/inf IEEE-style instead of raising mid-kernel — the driver's
 batched pivot check owns the diagnostics.  Output is byte-identical to
-the numpy and reference backends.
+the numpy and reference backends.  The §5 precalculation op
+(``fsai_precalc``) shares the gather and distributes one truncated CG
+per system across threads, replaying the canonical masked schedule of
+:func:`repro.kernels.precalc.solve_precalc_stack` scalar-for-scalar —
+again byte-identical across backends.
 
 The SpGEMM numeric phase is row-parallel Gustavson over a prebuilt
 symbolic plan: each thread owns one output row (no scatter races), finds
@@ -202,6 +206,59 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
             xl[0] = xl[0] / L[0, 0]
             for i in range(K):
                 x[i, s] = xl[i]
+
+    @njit(parallel=True, error_model="numpy")
+    def _fsai_precalc_kernel(systems, rtol, max_iterations, x):
+        # Scalar replay of solve_precalc_stack, one truncated CG per
+        # thread.  Off-diagonals are read as systems[max, min, s] + 0.0
+        # (matching the batched symmetrise) and every reduction is an
+        # ascending accumulation from 0.0 — the order the strided
+        # einsums evaluate in — so output is byte-identical to the numpy
+        # and reference backends.  error_model="numpy" keeps IEEE
+        # semantics for degenerate systems; breakdowns just break out.
+        K = systems.shape[0]
+        m = systems.shape[2]
+        for s in prange(m):
+            full = np.zeros((K, K))
+            for i in range(K):
+                full[i, i] = systems[i, i, s]
+                for j in range(i):
+                    v = systems[i, j, s] + 0.0
+                    full[i, j] = v
+                    full[j, i] = v
+            xs = np.zeros(K)
+            r = np.zeros(K)
+            r[K - 1] = 1.0
+            d = np.zeros(K)
+            d[K - 1] = 1.0
+            q = np.zeros(K)
+            rho = 1.0
+            for _ in range(max_iterations):
+                for i in range(K):
+                    acc = 0.0
+                    for j in range(K):
+                        acc += full[j, i] * d[j]
+                    q[i] = acc
+                dq = 0.0
+                for j in range(K):
+                    dq += d[j] * q[j]
+                if not dq > 0:
+                    break
+                alpha = rho / dq
+                for i in range(K):
+                    xs[i] += alpha * d[i]
+                    r[i] -= alpha * q[i]
+                rr = 0.0
+                for i in range(K):
+                    rr += r[i] * r[i]
+                if not np.sqrt(rr) > rtol:
+                    break
+                beta = rr / rho
+                for i in range(K):
+                    d[i] = r[i] + beta * d[i]
+                rho = rr
+            for i in range(K):
+                x[i, s] = xs[i]
 
     @njit(parallel=True)
     def _spgemm_numeric_kernel(a_indptr, a_indices, a_data,
@@ -441,6 +498,14 @@ if NUMBA_AVAILABLE:  # pragma: no cover - compiled paths need numba
         def _fsai_setup_solve(self, systems: np.ndarray) -> np.ndarray:
             x = np.zeros((systems.shape[0], systems.shape[2]))
             _fsai_solve_kernel(np.ascontiguousarray(systems), x)
+            return x
+
+        def _fsai_precalc_solve(self, systems: np.ndarray, rtol: float,
+                                max_iterations: int) -> np.ndarray:
+            x = np.zeros((systems.shape[0], systems.shape[2]))
+            if systems.shape[0] and max_iterations > 0:
+                _fsai_precalc_kernel(np.ascontiguousarray(systems),
+                                     rtol, max_iterations, x)
             return x
 
         def setup_threads(self) -> int:

@@ -109,6 +109,62 @@ class ReferenceBackend(KernelBackend):
                 x[0, s] = x[0, s] / L[0, 0]
         return x
 
+    def _fsai_precalc_solve(self, systems: np.ndarray, rtol: float,
+                            max_iterations: int) -> np.ndarray:
+        # Scalar transcription of solve_precalc_stack, one independent
+        # truncated CG per system.  Off-diagonals are read as
+        # ``systems[max, min, s] + 0.0`` (the batched symmetrise adds the
+        # +0.0 upper triangle) and every reduction is a plain ascending
+        # accumulation from 0.0 — the exact order the batched strided
+        # einsums evaluate in, so the result is byte-identical.  The
+        # masked updates become per-system breaks: a system that fails
+        # the curvature check or converges simply stops iterating.
+        K, _, m = systems.shape
+        x = np.zeros((K, m))
+        if K == 0 or max_iterations <= 0:
+            return x
+        with np.errstate(invalid="ignore", divide="ignore"):
+            for s in range(m):
+                full = np.zeros((K, K))
+                for i in range(K):
+                    full[i, i] = systems[i, i, s]
+                    for j in range(i):
+                        v = systems[i, j, s] + 0.0
+                        full[i, j] = v
+                        full[j, i] = v
+                xs = np.zeros(K)
+                r = np.zeros(K)
+                r[K - 1] = 1.0
+                d = r.copy()
+                q = np.zeros(K)
+                rho = 1.0
+                for _ in range(max_iterations):
+                    for i in range(K):
+                        acc = 0.0
+                        for j in range(K):
+                            acc += full[j, i] * d[j]
+                        q[i] = acc
+                    dq = 0.0
+                    for j in range(K):
+                        dq += d[j] * q[j]
+                    if not dq > 0:
+                        break
+                    alpha = rho / dq
+                    for i in range(K):
+                        xs[i] += alpha * d[i]
+                        r[i] -= alpha * q[i]
+                    rr = 0.0
+                    for i in range(K):
+                        rr += r[i] * r[i]
+                    if not np.sqrt(rr) > rtol:
+                        break
+                    beta = rr / rho
+                    for i in range(K):
+                        d[i] = r[i] + beta * d[i]
+                    rho = rr
+                x[:, s] = xs
+        return x
+
     def pcg_step(self, alpha: float, x: np.ndarray, d: np.ndarray,
                  r: np.ndarray, q: np.ndarray,
                  work: Optional[np.ndarray] = None) -> float:

@@ -52,12 +52,18 @@ TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
 
 @dataclass(frozen=True)
 class ComponentVerdict:
-    """Gate decision for one named component (or the composite)."""
+    """Gate decision for one named component (or the composite).
+
+    ``informational`` verdicts are recorded but never fail: either
+    record marked the component's gate unarmed on its host (e.g. the
+    multi-process serving throughput on a small machine).
+    """
 
     name: str
     baseline_speedup: float
     current_speedup: float
     ok: bool
+    informational: bool = False
 
     @property
     def ratio(self) -> float:
@@ -67,7 +73,9 @@ class ComponentVerdict:
         return self.current_speedup / self.baseline_speedup
 
     def line(self) -> str:
-        status = "ok  " if self.ok else "FAIL"
+        status = "info" if self.informational else (
+            "ok  " if self.ok else "FAIL"
+        )
         return (
             f"{status} {self.name:<18} baseline {self.baseline_speedup:7.2f}x  "
             f"current {self.current_speedup:7.2f}x  ratio {self.ratio:5.2f}"
@@ -108,6 +116,7 @@ class GateReport:
                     "current_speedup": v.current_speedup,
                     "ratio": v.ratio,
                     "ok": v.ok,
+                    "informational": v.informational,
                 }
                 for v in self.verdicts
             ],
@@ -152,12 +161,14 @@ def compare_records(
         if cur is None:
             missing.append(base.name)
             continue
+        informational = base.informational or cur.informational
         verdicts.append(
             ComponentVerdict(
                 name=base.name,
                 baseline_speedup=base.speedup,
                 current_speedup=cur.speedup,
-                ok=cur.speedup >= tol * base.speedup,
+                ok=informational or cur.speedup >= tol * base.speedup,
+                informational=informational,
             )
         )
     verdicts.append(

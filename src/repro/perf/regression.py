@@ -36,24 +36,34 @@ def _speedup(reference_seconds: float, optimized_seconds: float) -> float:
 
 @dataclass(frozen=True)
 class RegressionComponent:
-    """One timed reference-vs-optimized pair (e.g. ``stack_distances``)."""
+    """One timed reference-vs-optimized pair (e.g. ``stack_distances``).
+
+    ``informational`` marks a measurement whose gate is unarmed (e.g.
+    the multi-process serving throughput on a machine with too few
+    cores to show the speedup, or an end-to-end timing whose ratio is
+    diluted by cost shared across both sides): it is recorded for the
+    trajectory but never judged as a regression, and its wall time is
+    excluded from the record's composite totals.
+    """
 
     name: str
     reference_seconds: float
     optimized_seconds: float
     detail: str = ""
+    informational: bool = False
 
     @property
     def speedup(self) -> float:
         return _speedup(self.reference_seconds, self.optimized_seconds)
 
-    def to_dict(self) -> Dict[str, Union[str, float]]:
+    def to_dict(self) -> Dict[str, Union[str, float, bool]]:
         return {
             "name": self.name,
             "reference_seconds": self.reference_seconds,
             "optimized_seconds": self.optimized_seconds,
             "speedup": self.speedup,
             "detail": self.detail,
+            "informational": self.informational,
         }
 
 
@@ -74,12 +84,24 @@ class RegressionRecord:
     trace_summary: Optional[TraceSummary] = None
 
     @property
+    def _judged(self) -> List[RegressionComponent]:
+        """Components that participate in the composite claim.
+
+        Informational measurements are excluded: they are either
+        host-dependent (unarmed gates) or deliberately diluted
+        end-to-end views, and folding their wall time into the
+        composite ratio would let them mask — or fake — a regression
+        in the components the claim is actually about.
+        """
+        return [c for c in self.components if not c.informational]
+
+    @property
     def reference_total(self) -> float:
-        return sum(c.reference_seconds for c in self.components)
+        return sum(c.reference_seconds for c in self._judged)
 
     @property
     def optimized_total(self) -> float:
-        return sum(c.optimized_seconds for c in self.components)
+        return sum(c.optimized_seconds for c in self._judged)
 
     @property
     def speedup(self) -> float:
@@ -122,6 +144,7 @@ class RegressionRecord:
                     reference_seconds=c["reference_seconds"],
                     optimized_seconds=c["optimized_seconds"],
                     detail=c.get("detail", ""),
+                    informational=bool(c.get("informational", False)),
                 )
                 for c in payload["components"]
             ],
@@ -146,6 +169,7 @@ class RegressionRecord:
         rows = [
             f"{c.name:<18} ref {c.reference_seconds * 1e3:8.1f} ms   "
             f"opt {c.optimized_seconds * 1e3:8.1f} ms   {c.speedup:6.2f}x"
+            + ("   (informational)" if c.informational else "")
             for c in self.components
         ]
         rows.append(

@@ -7,6 +7,13 @@ module provides exactly that: a dense CG that stops early, plus a batched
 variant that advances many equally-sized systems in lockstep with stacked
 matrix-vector products (one kernel-backend ``stacked_matvec`` per
 iteration for a whole bucket, into a reused output buffer).
+
+These are the *legacy* precalculation bodies, kept bit-for-bit for the
+``backend="reference"``/``"bucketed"`` paths of
+:func:`repro.fsai.frobenius.precalculate_g`; the default kernel path
+runs the ``fsai_precalc`` op instead (:mod:`repro.kernels.precalc` —
+the same truncated CG batched over the setup op's identity-padded
+row-length groups, byte-identical across kernel backends).
 """
 
 from __future__ import annotations

@@ -62,6 +62,13 @@ class TestWeakEntryMask:
         with pytest.raises(ValueError):
             weak_entry_mask(g, -0.1)
 
+    def test_non_square_rejected(self):
+        """Columns past the last row have no diagonal to compare against;
+        historically their index was silently clamped to the last row."""
+        rect = csr_from_dense(np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.5]]))
+        with pytest.raises(ShapeError, match="square"):
+            weak_entry_mask(rect, 0.1)
+
 
 class TestPrecalcFilter:
     def test_base_entries_immune(self, setup):

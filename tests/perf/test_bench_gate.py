@@ -80,6 +80,91 @@ class TestCompareRecords:
         assert report.ok
 
 
+def _info_record(speedup, informational):
+    # The dominant armed component pins the composite, so the tests
+    # below exercise the per-component verdict in isolation.
+    return RegressionRecord(label="bench", scope="unit", components=[
+        RegressionComponent(
+            name="pcg_iteration", reference_seconds=100.0,
+            optimized_seconds=10.0, detail="synthetic",
+        ),
+        RegressionComponent(
+            name="serve_throughput_mp", reference_seconds=1.0,
+            optimized_seconds=1.0 / speedup, detail="synthetic",
+            informational=informational,
+        ),
+    ])
+
+
+class TestInformationalComponents:
+    """A component whose gate is unarmed on the recording host (e.g. the
+    multi-process serving throughput on a small machine) is recorded but
+    must never be judged as a regression."""
+
+    @staticmethod
+    def _mp_verdict(report):
+        return next(
+            v for v in report.verdicts if v.name == "serve_throughput_mp"
+        )
+
+    def test_informational_regression_passes(self):
+        report = compare_records(
+            _info_record(4.0, True), _info_record(0.5, True)
+        )
+        verdict = self._mp_verdict(report)
+        assert verdict.ok and verdict.informational
+        assert report.ok
+        assert "info" in verdict.line()
+
+    def test_flag_from_either_record_suffices(self):
+        # Baseline from a big host (armed), current from a small one —
+        # and the other way around; neither pairing may trip the gate.
+        for base_flag, cur_flag in [(True, False), (False, True)]:
+            report = compare_records(
+                _info_record(4.0, base_flag), _info_record(0.5, cur_flag)
+            )
+            assert report.ok and self._mp_verdict(report).informational
+
+    def test_armed_component_still_fails(self):
+        report = compare_records(
+            _info_record(4.0, False), _info_record(0.5, False)
+        )
+        assert not report.ok
+        assert not self._mp_verdict(report).informational
+
+    def test_flag_round_trips_through_json(self):
+        record = _info_record(4.0, True)
+        clone = RegressionRecord.from_dict(record.to_dict())
+        assert clone.components[1].informational is True
+        assert "(informational)" in "\n".join(clone.summary_lines())
+        # And the report JSON carries the verdict's flag for CI artifacts.
+        report = compare_records(record, clone)
+        flags = {
+            v["name"]: v["informational"]
+            for v in report.to_dict()["verdicts"]
+        }
+        assert flags["serve_throughput_mp"] is True
+        assert flags["pcg_iteration"] is False
+
+    def test_legacy_payload_defaults_to_armed(self):
+        payload = _record(BASELINE).to_dict()
+        for c in payload["components"]:
+            del c["informational"]
+        clone = RegressionRecord.from_dict(payload)
+        assert not any(c.informational for c in clone.components)
+
+    def test_informational_excluded_from_composite(self):
+        # 100 s -> 10 s armed; the informational pair (1 s -> 2 s) must
+        # not dilute the 10x composite claim.
+        record = _info_record(0.5, True)
+        assert record.reference_total == pytest.approx(100.0)
+        assert record.optimized_total == pytest.approx(10.0)
+        assert record.speedup == pytest.approx(10.0)
+        # Armed, the same timings do count.
+        armed = _info_record(0.5, False)
+        assert armed.speedup == pytest.approx(101.0 / 12.0)
+
+
 class TestToleranceResolution:
     def test_default(self, monkeypatch):
         monkeypatch.delenv(TOLERANCE_ENV, raising=False)
